@@ -1,0 +1,77 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every binary prints the same rows/series the paper reports. Default
+// arguments are scaled to finish quickly on a laptop; pass --full for
+// paper-scale runs where supported.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/clos_network.h"
+#include "core/expander_network.h"
+#include "core/opera_network.h"
+#include "core/rotornet_network.h"
+#include "workload/synthetic.h"
+
+namespace opera::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void banner(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+// Flow-size buckets used for FCT-vs-size rows (log-spaced like the paper's
+// x axes).
+struct SizeBucket {
+  std::int64_t lo;
+  std::int64_t hi;
+  const char* label;
+};
+
+inline std::vector<SizeBucket> fct_buckets() {
+  return {
+      {0, 10'000, "<10KB"},
+      {10'000, 100'000, "10KB-100KB"},
+      {100'000, 1'000'000, "100KB-1MB"},
+      {1'000'000, 15'000'000, "1MB-15MB"},
+      {15'000'000, 1LL << 62, ">=15MB (bulk)"},
+  };
+}
+
+// Prints one FCT row set from a tracker: per bucket, count / p50 / p99 (us).
+inline void print_fct_rows(const transport::FlowTracker& tracker, const char* net,
+                           double load_percent) {
+  for (const auto& bucket : fct_buckets()) {
+    const auto fct = tracker.fct_us(bucket.lo, bucket.hi);
+    if (fct.empty()) {
+      std::printf("%-10s load=%4.0f%%  %-14s  flows=%6zu  (no completions)\n", net,
+                  load_percent, bucket.label, fct.count());
+      continue;
+    }
+    std::printf(
+        "%-10s load=%4.0f%%  %-14s  flows=%6zu  p50=%10.1fus  p99=%10.1fus\n", net,
+        load_percent, bucket.label, fct.count(), fct.percentile(50),
+        fct.percentile(99));
+  }
+}
+
+// Submits a FlowSpec list to any network with submit_flow().
+template <typename Network>
+void submit_all(Network& net, const std::vector<workload::FlowSpec>& flows) {
+  for (const auto& f : flows) {
+    net.submit_flow(f.src_host, f.dst_host, f.size_bytes, f.start);
+  }
+}
+
+}  // namespace opera::bench

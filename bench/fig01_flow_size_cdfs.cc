@@ -1,0 +1,33 @@
+// Figure 1: published empirical flow-size distributions — CDF of flows
+// (top) and CDF of bytes (bottom) for Datamining [21], Websearch [4] and
+// Hadoop [39].
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/flow_size_dist.h"
+
+int main() {
+  using opera::workload::FlowSizeDistribution;
+  opera::bench::banner("Figure 1: flow-size distributions (flow CDF and byte CDF)");
+
+  for (const auto& dist :
+       {FlowSizeDistribution::datamining(), FlowSizeDistribution::websearch(),
+        FlowSizeDistribution::hadoop()}) {
+    std::printf("\n[%s] mean flow size = %.0f bytes\n", dist.name().c_str(),
+                dist.mean_bytes());
+    std::printf("  %-14s %-12s %-12s\n", "size (bytes)", "CDF(flows)", "CDF(bytes)");
+    const auto bytes = dist.byte_cdf();
+    const auto& flows = dist.flow_cdf();
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const double byte_cdf = i < bytes.size() ? bytes[i].cdf : 1.0;
+      std::printf("  %-14.0f %-12.3f %-12.3f\n", flows[i].bytes, flows[i].cdf,
+                  byte_cdf);
+    }
+    std::printf("  bytes in >=15MB (bulk) flows: %.1f%%\n",
+                100.0 * dist.byte_fraction_at_or_above(15e6));
+  }
+  std::printf(
+      "\nPaper check: Datamining/Hadoop are byte-heavy in bulk flows; Websearch"
+      " has essentially no bulk bytes (drives Figure 9's all-indirect case).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 4: CDF of ToR-to-ToR path lengths for the cost-equivalent
+// 648-host Opera (108 racks, u=6), 650-host u=7 expander (130 racks), and
+// 648-host 3:1 folded Clos (72 ToRs).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "topo/expander.h"
+#include "topo/failures.h"
+#include "topo/folded_clos.h"
+#include "topo/opera_topology.h"
+
+namespace {
+
+void print_cdf(const char* name, const std::vector<std::size_t>& hist) {
+  std::size_t total = 0;
+  for (const auto c : hist) total += c;
+  std::printf("%-18s", name);
+  double cum = 0.0;
+  for (std::size_t h = 1; h < hist.size(); ++h) {
+    cum += static_cast<double>(hist[h]) / static_cast<double>(total);
+    std::printf("  %zu:%0.3f", h, cum);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = opera::bench::has_flag(argc, argv, "--full");
+  opera::bench::banner("Figure 4: path-length CDF (648-host scale)");
+  using namespace opera::topo;
+
+  // Opera: aggregate over all (or sampled) topology slices.
+  OperaParams op;
+  op.num_racks = 108;
+  op.num_switches = 6;
+  op.hosts_per_rack = 6;
+  op.seed = 1;
+  const OperaTopology opera(op);
+  std::vector<std::size_t> opera_hist;
+  const int step = full ? 1 : 6;
+  double avg_sum = 0.0;
+  int slices = 0;
+  for (int s = 0; s < opera.num_slices(); s += step) {
+    const auto stats = all_pairs_path_stats(opera.slice_graph(s));
+    if (stats.hop_histogram.size() > opera_hist.size()) {
+      opera_hist.resize(stats.hop_histogram.size(), 0);
+    }
+    for (std::size_t h = 0; h < stats.hop_histogram.size(); ++h) {
+      opera_hist[h] += stats.hop_histogram[h];
+    }
+    avg_sum += stats.average;
+    ++slices;
+  }
+
+  // u=7 static expander: 130 racks x 5 hosts = 650 hosts.
+  ExpanderParams ep;
+  ep.num_tors = 130;
+  ep.uplinks = 7;
+  ep.hosts_per_tor = 5;
+  ep.seed = 1;
+  const ExpanderTopology expander(ep);
+  const auto exp_stats = all_pairs_path_stats(expander.graph());
+
+  // 3:1 folded Clos, k=12: path lengths between ToRs (2 intra-pod,
+  // 4 inter-pod).
+  ClosParams cp;
+  cp.radix = 12;
+  cp.oversubscription = 3;
+  const FoldedClos clos(cp);
+  std::vector<Vertex> tors;
+  for (Vertex t = 0; t < clos.num_tors(); ++t) tors.push_back(t);
+  const auto clos_stats = subset_path_stats(clos.switch_graph(), tors);
+
+  std::printf("hops: cumulative fraction of ToR pairs within h hops\n");
+  print_cdf("Opera (all slices)", opera_hist);
+  print_cdf("u=7 expander", exp_stats.hop_histogram);
+  print_cdf("3:1 folded Clos", clos_stats.hop_histogram);
+  std::printf("\nAverages: Opera %.2f (over %d slices)   expander %.2f   Clos %.2f\n",
+              avg_sum / slices, slices, exp_stats.average, clos_stats.average);
+  std::printf("Paper shape: Opera only slightly longer than the u=7 expander and "
+              "well below the Clos's 4-hop inter-pod mass.\n");
+  return 0;
+}

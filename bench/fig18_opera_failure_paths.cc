@@ -1,0 +1,40 @@
+// Figure 18: Opera average and worst-case path lengths under link / ToR /
+// circuit-switch failures (finite paths only; Fig. 11 reports the
+// disconnected pairs).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "topo/failures.h"
+
+int main() {
+  opera::bench::banner(
+      "Figure 18: Opera path lengths under failures (108 racks, 6 switches)");
+  using namespace opera::topo;
+
+  OperaParams p;
+  p.num_racks = 108;
+  p.num_switches = 6;
+  p.seed = 1;
+  const OperaTopology topo(p);
+
+  const double fractions[] = {0.01, 0.025, 0.05, 0.10, 0.20, 0.40};
+  const struct {
+    FailureKind kind;
+    const char* label;
+  } kinds[] = {{FailureKind::kLink, "links"},
+               {FailureKind::kTor, "ToRs"},
+               {FailureKind::kCircuitSwitch, "circuit switches"}};
+
+  for (const auto& [kind, label] : kinds) {
+    std::printf("\nFailed %-16s  avg path (hops)   worst path (hops)\n", label);
+    for (const double f : fractions) {
+      opera::sim::Rng rng(2000 + static_cast<std::uint64_t>(f * 1000));
+      const auto report = analyze_opera_failures(topo, kind, f, rng);
+      std::printf("  %5.1f%%             %6.2f            %3d\n", f * 100.0,
+                  report.avg_path_length, report.worst_path_length);
+    }
+  }
+  std::printf("\nPaper shape: graceful stretch — average stays near 3.3 hops and the\n"
+              "worst case grows only at heavy failure rates.\n");
+  return 0;
+}

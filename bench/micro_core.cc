@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark) of the simulation substrate: event
+// queue throughput, per-slice routing construction, one-factorization,
+// queue operations, and end-to-end simulated-packet rate.
+#include <benchmark/benchmark.h>
+
+#include "core/opera_network.h"
+#include "net/queue.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "topo/one_factorization.h"
+#include "topo/opera_topology.h"
+
+namespace {
+
+using namespace opera;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(sim::Time::ps(static_cast<std::int64_t>(rng.next_u64() % 1'000'000)),
+                 [] {});
+    }
+    while (!q.empty()) q.run_next();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_OneFactorization(benchmark::State& state) {
+  const auto n = static_cast<topo::Vertex>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Rng rng(seed++);
+    benchmark::DoNotOptimize(topo::random_factorization(n, rng));
+  }
+}
+BENCHMARK(BM_OneFactorization)->Arg(16)->Arg(108);
+
+void BM_SliceRoutes(benchmark::State& state) {
+  topo::OperaParams p;
+  p.num_racks = static_cast<topo::Vertex>(state.range(0));
+  // Keep slices comfortably connected: u=4 at toy scale, u=6 beyond.
+  p.num_switches = p.num_racks >= 32 ? 6 : 4;
+  p.seed = 1;
+  const topo::OperaTopology topo(p);
+  int slice = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.slice_routes(slice));
+    slice = (slice + 1) % topo.num_slices();
+  }
+}
+BENCHMARK(BM_SliceRoutes)->Arg(16)->Arg(48);
+
+void BM_PortQueue(benchmark::State& state) {
+  net::PortQueue q;
+  for (auto _ : state) {
+    auto pkt = std::make_unique<net::Packet>();
+    pkt->type = net::PacketType::kData;
+    pkt->tclass = net::TrafficClass::kLowLatency;
+    pkt->size_bytes = 1500;
+    benchmark::DoNotOptimize(q.enqueue(std::move(pkt)));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+}
+BENCHMARK(BM_PortQueue);
+
+void BM_OperaEndToEnd(benchmark::State& state) {
+  // Simulated-time throughput of the whole stack: a 16-rack Opera network
+  // at moderate low-latency load for 5 ms of simulated time.
+  for (auto _ : state) {
+    core::OperaConfig cfg;
+    cfg.topology.num_racks = 16;
+    cfg.topology.num_switches = 4;
+    cfg.topology.hosts_per_rack = 4;
+    cfg.topology.seed = 11;
+    core::OperaNetwork net(cfg);
+    sim::Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+      const auto src = static_cast<std::int32_t>(rng.index(64));
+      auto dst = static_cast<std::int32_t>(rng.index(64));
+      if (dst == src) dst = (dst + 1) % 64;
+      net.submit_flow(src, dst, 20'000,
+                      sim::Time::us(static_cast<std::int64_t>(rng.index(1'000))));
+    }
+    net.run_until(sim::Time::ms(5));
+    benchmark::DoNotOptimize(net.tracker().completed());
+  }
+  state.SetLabel("16 racks, 100 flows, 5 ms simulated");
+}
+BENCHMARK(BM_OperaEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

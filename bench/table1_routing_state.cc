@@ -1,0 +1,49 @@
+// Table 1: Opera P4 ruleset size and switch-memory utilization vs
+// datacenter size. Entries = N(N-1) low-latency rules (per-slice,
+// per-destination) + N(u-1) bulk rules (per-slice direct circuits),
+// validated against a concrete OperaTopology's actual forwarding state.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/routing_state.h"
+#include "topo/opera_topology.h"
+
+int main() {
+  opera::bench::banner("Table 1: routing state vs datacenter size");
+  using opera::core::RoutingStateModel;
+
+  std::printf("%-8s %-8s %-12s %-14s\n", "#Racks", "k", "#Entries", "%Utilization");
+  for (const auto& row : RoutingStateModel::kPaperRows) {
+    const auto entries = RoutingStateModel::total_entries(row.racks, row.radix / 2);
+    std::printf("%-8lld %-8d %-12lld %-14.1f\n", static_cast<long long>(row.racks),
+                row.radix, static_cast<long long>(entries),
+                RoutingStateModel::utilization_percent(entries));
+  }
+
+  // Cross-check the counting argument against a real topology: in every
+  // slice each ToR has one low-latency rule per destination and one bulk
+  // rule per active uplink circuit.
+  opera::topo::OperaParams p;
+  p.num_racks = 108;
+  p.num_switches = 6;
+  p.seed = 1;
+  const opera::topo::OperaTopology topo(p);
+  long long ll_rules = 0;
+  long long bulk_rules = 0;
+  for (int s = 0; s < topo.num_slices(); ++s) {
+    ll_rules += static_cast<long long>(topo.num_racks() - 1);
+    const int down = topo.reconfiguring_switch(s);
+    for (int sw = 0; sw < topo.num_switches(); ++sw) {
+      if (sw == down) continue;
+      // Rack 0's direct circuits this slice (self-matches need no rule).
+      if (topo.circuit_peer(sw, 0, s) != 0) ++bulk_rules;
+    }
+  }
+  std::printf("\nCross-check (108 racks, per-ToR): model %lld entries, "
+              "topology walk %lld entries\n",
+              static_cast<long long>(RoutingStateModel::total_entries(108, 6)),
+              ll_rules + bulk_rules);
+  std::printf("Paper: 12,096 entries / 0.7%% at 108 racks up to 1,461,600 / 85.9%%\n"
+              "at 1200 racks — today's hardware holds Opera's rules.\n");
+  return 0;
+}

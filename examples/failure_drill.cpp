@@ -1,0 +1,52 @@
+// Failure drill (paper §3.6.2): kill an entire rotor circuit switch and a
+// few uplinks mid-run and watch the fabric reconverge — traffic keeps
+// flowing over the surviving expander because every slice is still
+// connected, and routing tables are recomputed within a cycle.
+#include <cstdio>
+
+#include "core/opera_network.h"
+
+int main() {
+  using namespace opera;
+
+  core::OperaConfig cfg;
+  cfg.topology.num_racks = 24;
+  cfg.topology.num_switches = 6;  // u=6: tolerates a whole switch failing
+  cfg.topology.hosts_per_rack = 4;
+  cfg.topology.seed = 4;
+  core::OperaNetwork net(cfg);
+
+  // A steady stream of small flows before, during and after the failures.
+  sim::Rng rng(13);
+  const int total_flows = 1500;
+  for (int i = 0; i < total_flows; ++i) {
+    const auto src = static_cast<std::int32_t>(rng.index(96));
+    auto dst = static_cast<std::int32_t>(rng.index(96));
+    if (dst == src) dst = (dst + 1) % 96;
+    net.submit_flow(src, dst, 10'000, sim::Time::us(20 * i));
+  }
+
+  // t = 5 ms: rotor switch 2 dies. t = 10 ms: rack 3 loses two uplinks.
+  net.sim().schedule_at(sim::Time::ms(5), [&net] {
+    std::printf("[t=5ms] injecting circuit-switch failure (switch 2)\n");
+    net.inject_switch_failure(2);
+  });
+  net.sim().schedule_at(sim::Time::ms(10), [&net] {
+    std::printf("[t=10ms] injecting uplink failures (rack 3 -> switches 0, 4)\n");
+    net.inject_uplink_failure(3, 0);
+    net.inject_uplink_failure(3, 4);
+  });
+
+  net.run_until(sim::Time::ms(60));
+
+  std::printf("\nflows completed: %zu/%d\n", net.tracker().completed(), total_flows);
+  const auto fct = net.tracker().fct_us(0, 1LL << 62);
+  if (!fct.empty()) {
+    std::printf("FCT p50 = %.1f us, p99 = %.1f us, max = %.1f us\n",
+                fct.percentile(50), fct.percentile(99), fct.max());
+  }
+  std::printf("\nOne failed rotor switch (1/6) and two dead uplinks cost capacity\n"
+              "but no connectivity: every topology slice remains an expander over\n"
+              "the surviving circuits (compare bench/fig11_fault_tolerance).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// A latency-sensitive RPC service sharing the fabric with a heavy bulk
+// backup job — the paper's core "one fabric for both" scenario (§1, §5.4).
+// The RPC tail must not care that the network is simultaneously moving
+// tens of megabytes per host over the same links.
+#include <cstdio>
+
+#include "core/opera_network.h"
+#include "sim/stats.h"
+
+int main() {
+  using namespace opera;
+
+  core::OperaConfig cfg;
+  cfg.topology.num_racks = 16;
+  cfg.topology.num_switches = 4;
+  cfg.topology.hosts_per_rack = 4;
+  cfg.topology.seed = 3;
+  core::OperaNetwork net(cfg);
+
+  // Background: every rack streams a 30 MB backup to the "archive" rack's
+  // hosts (skewed bulk load -> exercises RotorLB's two-hop VLB).
+  for (int r = 1; r < net.num_racks(); ++r) {
+    const auto src = static_cast<std::int32_t>(r * 4);
+    const auto dst = static_cast<std::int32_t>(r % 4);  // spread over rack 0's hosts
+    net.submit_flow(src, dst, 30'000'000, sim::Time::zero(),
+                    net::TrafficClass::kBulk);
+  }
+
+  // Foreground: 2000 8KB RPCs at 50 us spacing between random host pairs.
+  sim::Rng rng(11);
+  sim::PercentileSampler rpc_fct;
+  net.tracker().set_completion_hook([&](const transport::FlowRecord& rec) {
+    if (rec.flow.tclass == net::TrafficClass::kLowLatency) {
+      rpc_fct.add(rec.fct().to_us());
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const auto src = static_cast<std::int32_t>(rng.index(64));
+    auto dst = static_cast<std::int32_t>(rng.index(64));
+    if (dst == src) dst = (dst + 1) % 64;
+    net.submit_flow(src, dst, 8'000, sim::Time::us(50 * i));
+  }
+
+  net.run_until(sim::Time::ms(200));
+
+  std::printf("RPCs completed: %zu/2000\n", rpc_fct.count());
+  if (!rpc_fct.empty()) {
+    std::printf("RPC FCT: p50 = %.1f us, p90 = %.1f us, p99 = %.1f us\n",
+                rpc_fct.percentile(50), rpc_fct.percentile(90),
+                rpc_fct.percentile(99));
+  }
+  std::printf("bulk backups completed: %zu/15\n",
+              net.tracker().completed() - rpc_fct.count());
+  const auto stats = net.tor_stats();
+  std::printf("in-network: %llu trims, %llu drops (NDP/RotorLB recovered them)\n",
+              static_cast<unsigned long long>(stats.trims),
+              static_cast<unsigned long long>(stats.drops));
+  std::printf("\nStrict priority + expander paths keep RPC tails in the tens of\n"
+              "microseconds while the same links carry the bulk backup through\n"
+              "time-varying direct circuits.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// MapReduce-style shuffle on Opera (paper §5.2): every host exchanges a
+// 100 KB block with every non-rack-local host, tagged as bulk by the
+// application so all of it takes direct circuits (no flow-size guessing).
+// Prints the job's delivered-bandwidth timeline and completion statistics.
+#include <cstdio>
+
+#include "core/opera_network.h"
+#include "sim/stats.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace opera;
+
+  core::OperaConfig cfg;
+  cfg.topology.num_racks = 16;
+  cfg.topology.num_switches = 4;
+  cfg.topology.hosts_per_rack = 4;
+  cfg.topology.seed = 2;
+  core::OperaNetwork net(cfg);
+
+  sim::Rng rng(7);
+  const auto flows = workload::shuffle_workload(net.num_hosts(),
+                                                cfg.topology.hosts_per_rack,
+                                                /*flow_bytes=*/100'000,
+                                                /*stagger=*/sim::Time::zero(), rng);
+
+  sim::ThroughputSeries timeline(sim::Time::ms(1));
+  net.tracker().set_delivery_hook(
+      [&](const transport::Flow&, std::int64_t bytes, sim::Time at) {
+        timeline.record(at, bytes);
+      });
+
+  for (const auto& f : flows) {
+    // Application-based tagging (§3.4): the framework knows its shuffle
+    // blocks are bandwidth-bound even though each is only 100 KB.
+    net.submit_flow(f.src_host, f.dst_host, f.size_bytes, f.start,
+                    net::TrafficClass::kBulk);
+  }
+  net.run_until(sim::Time::ms(60));
+
+  std::printf("shuffle: %zu flows x 100KB, %zu completed\n", flows.size(),
+              net.tracker().completed());
+  std::printf("delivered Gb/s per ms: ");
+  for (const auto& pt : timeline.series()) {
+    std::printf("%.0f ", pt.bits_per_second / 1e9);
+  }
+  std::printf("\n");
+  auto fct = net.tracker().fct_us(0, 1LL << 62);
+  if (!fct.empty()) {
+    std::printf("FCT p50 = %.2f ms, p99 = %.2f ms\n", fct.percentile(50) / 1e3,
+                fct.percentile(99) / 1e3);
+  }
+  std::printf("\nEvery byte crossed the network exactly once (no bandwidth tax):\n"
+              "compare bench/fig08_shuffle_throughput for the cost-equivalent\n"
+              "static networks on the same job.\n");
+  return 0;
+}

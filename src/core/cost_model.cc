@@ -1,0 +1,27 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opera::core {
+
+int CostModel::expander_uplinks(double alpha, int radix) {
+  const double u = alpha * radix / (1.0 + alpha);
+  return std::clamp(static_cast<int>(std::llround(u)), 1, radix - 1);
+}
+
+std::int64_t CostModel::clos_hosts(int radix, double oversubscription) {
+  const double f = oversubscription;
+  const double half_k = radix / 2.0;
+  return static_cast<std::int64_t>(
+      std::llround(4.0 * f / (f + 1.0) * half_k * half_k * half_k));
+}
+
+std::int64_t CostModel::opera_racks(int radix) {
+  // 3:1-normalized host count divided by d = k/2 hosts per rack:
+  // 3 * (k/2)^2 racks (108 at k=12, 432 at k=24).
+  const std::int64_t half_k = radix / 2;
+  return 3 * half_k * half_k;
+}
+
+}  // namespace opera::core

@@ -1,0 +1,54 @@
+// Cost-normalization model (paper Appendix A, Table 2).
+//
+// alpha = cost of an Opera "port" (ToR port + transceiver + fiber + rotor
+// switch port share) / cost of a static "port" (ToR port + transceiver +
+// fiber). Given alpha, cost-equivalent static networks buy more capacity:
+//   folded Clos:   F = 2(T-1)/alpha  (T = 3 tiers)
+//   expander:      u = alpha*k/(1+alpha)   (alpha = u/(k-u))
+// and the comparison holds hosts H = (4F/(F+1))(k/2)^3 constant.
+#pragma once
+
+#include <cstdint>
+
+namespace opera::core {
+
+struct PortCostBreakdown {
+  // Commodity components (Appendix A, Table 2; 2017-era US$).
+  double sr_transceiver = 80.0;
+  double optical_fiber = 45.0;  // $0.3/m * 150m average run
+  double tor_port = 90.0;
+  // Rotor-switch components amortized per duplex fiber port (512-port
+  // rotor switch assumed).
+  double fiber_array = 30.0;
+  double optical_lenses = 15.0;
+  double beam_steering = 5.0;
+  double optical_mapping = 10.0;
+
+  [[nodiscard]] double static_port() const {
+    return sr_transceiver + optical_fiber + tor_port;
+  }
+  [[nodiscard]] double opera_port() const {
+    return static_port() + fiber_array + optical_lenses + beam_steering +
+           optical_mapping;
+  }
+  [[nodiscard]] double alpha() const { return opera_port() / static_port(); }
+};
+
+class CostModel {
+ public:
+  static constexpr int kTiers = 3;
+
+  // Clos oversubscription that spends the same per-host cost: F = 2(T-1)/a.
+  [[nodiscard]] static double clos_oversubscription(double alpha) {
+    return 2.0 * (kTiers - 1) / alpha;
+  }
+  // Expander uplinks per ToR at cost alpha: u = alpha*k/(1+alpha), rounded.
+  [[nodiscard]] static int expander_uplinks(double alpha, int radix);
+  // Hosts in the normalizing 3-tier Clos: H = (4F/(F+1)) * (k/2)^3.
+  [[nodiscard]] static std::int64_t clos_hosts(int radix, double oversubscription);
+  // Racks in an Opera network cost-equivalent to the k-radix Clos: the ToR
+  // is split d = u = k/2, so racks = H / (k/2).
+  [[nodiscard]] static std::int64_t opera_racks(int radix);
+};
+
+}  // namespace opera::core

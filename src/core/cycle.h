@@ -1,0 +1,68 @@
+// Cycle-time scaling model (paper §4.1 and Appendix B, Figure 14).
+//
+// One topology slice per matching: a k-radix Opera network (u = k/2 rotor
+// switches, N = 3(k/2)^2 racks at 3:1-normalized cost) has N slices per
+// cycle when one switch reconfigures at a time, making the cycle quadratic
+// in k. Dividing the switches into groups of 6 — one switch per group
+// reconfiguring simultaneously — shrinks the cycle by u/6 and restores
+// linear scaling (Figure 14).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace opera::core {
+
+struct CycleModel {
+  sim::Time slice_duration = sim::Time::us(99);       // epsilon + r
+  sim::Time reconfiguration = sim::Time::us(10);
+
+  // Racks for a cost-normalized k-radix Opera network: 3 * (k/2)^2.
+  [[nodiscard]] static std::int64_t racks(int radix) {
+    const std::int64_t half_k = radix / 2;
+    return 3 * half_k * half_k;
+  }
+  [[nodiscard]] static int rotor_switches(int radix) { return radix / 2; }
+
+  // Number of switches reconfiguring simultaneously when switches are
+  // divided into groups of `group_size` with one active per group.
+  [[nodiscard]] static int parallelism(int radix, int group_size) {
+    return std::max(1, rotor_switches(radix) / std::max(1, group_size));
+  }
+
+  // Absolute cycle time; group_size = 0 means no grouping (one switch at a
+  // time, the small-network regime of §3.1.1).
+  [[nodiscard]] sim::Time cycle_time(int radix, int group_size = 0) const {
+    const std::int64_t slices = racks(radix);
+    const int parallel = group_size == 0 ? 1 : parallelism(radix, group_size);
+    return slice_duration * (slices / parallel);
+  }
+
+  // Cycle time relative to the k=12 ungrouped baseline (Figure 14's y-axis).
+  [[nodiscard]] double relative_cycle_time(int radix, int group_size = 0) const {
+    const double base = static_cast<double>(cycle_time(12, 0).picoseconds());
+    return static_cast<double>(cycle_time(radix, group_size).picoseconds()) / base;
+  }
+
+  // Duty cycle: fraction of a switch's period spent forwarding (~98% at
+  // the paper's constants).
+  [[nodiscard]] double duty_cycle(int radix) const {
+    const double hold =
+        static_cast<double>((slice_duration * rotor_switches(radix)).picoseconds());
+    return 1.0 - static_cast<double>(reconfiguration.picoseconds()) / hold;
+  }
+
+  // Flows that can amortize one cycle of waiting within ~2x of their ideal
+  // FCT (the bulk threshold): the paper quotes 15 MB at k=12 and 90 MB at
+  // k=64 with groups of 6. At 10 Gb/s, one 10.7 ms cycle carries ~13.4 MB;
+  // the 1.12 fudge reproduces the paper's 15 MB round figure.
+  [[nodiscard]] std::int64_t bulk_threshold_bytes(int radix, double host_rate_bps,
+                                                  int group_size = 0) const {
+    return static_cast<std::int64_t>(cycle_time(radix, group_size).to_seconds() *
+                                     host_rate_bps / 8.0 * 1.12);
+  }
+};
+
+}  // namespace opera::core

@@ -1,0 +1,90 @@
+// Packet-level static-expander baseline (paper §5): ToR uplinks wired as a
+// random u-regular graph, shortest-path ECMP with per-packet spraying, NDP
+// transport for all traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "net/host.h"
+#include "net/switch.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "topo/expander.h"
+#include "transport/flow.h"
+#include "transport/ndp.h"
+
+namespace opera::core {
+
+struct ExpanderNetConfig {
+  topo::ExpanderParams structure;  // defaults: 130 ToRs x u=7 x d=5 (650 hosts)
+  LinkParams link;
+  transport::NdpConfig ndp;
+  std::int64_t bulk_threshold_bytes = 15'000'000;
+  bool priority_queueing = true;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] net::PortQueue::Config switch_queue_config() const {
+    net::PortQueue::Config q;
+    q.low_latency_capacity_bytes = 12'000;
+    q.control_capacity_bytes = 24'000;
+    q.bulk_capacity_bytes = 36'000;
+    q.trim_low_latency = true;
+    q.trim_bulk = true;
+    return q;
+  }
+  [[nodiscard]] net::PortQueue::Config host_queue_config() const {
+    net::PortQueue::Config q;
+    q.low_latency_capacity_bytes = 4'000'000;
+    q.control_capacity_bytes = 1'000'000;
+    q.bulk_capacity_bytes = 4'000'000;
+    q.trim_low_latency = false;
+    q.trim_bulk = false;
+    return q;
+  }
+};
+
+class ExpanderNetwork {
+ public:
+  explicit ExpanderNetwork(const ExpanderNetConfig& config);
+
+  std::uint64_t submit_flow(std::int32_t src_host, std::int32_t dst_host,
+                            std::int64_t size_bytes, sim::Time start,
+                            std::optional<net::TrafficClass> force = std::nullopt);
+
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] transport::FlowTracker& tracker() { return tracker_; }
+  [[nodiscard]] const topo::ExpanderTopology& structure() const { return expander_; }
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(hosts_.size());
+  }
+  [[nodiscard]] net::Host& host(std::int32_t id) {
+    return *hosts_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::int32_t rack_of_host(std::int32_t host) const {
+    return host / config_.structure.hosts_per_tor;
+  }
+
+ private:
+  void build();
+
+  ExpanderNetConfig config_;
+  topo::ExpanderTopology expander_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  transport::FlowTracker tracker_;
+  topo::EcmpTable routes_;
+  // uplink_of_[a] maps neighbor rack -> uplink port index on ToR a.
+  std::vector<std::vector<int>> uplink_of_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Switch>> tors_;
+  std::vector<std::unique_ptr<transport::NdpSource>> sources_;
+  std::vector<std::unique_ptr<transport::NdpSink>> sinks_;
+};
+
+}  // namespace opera::core

@@ -1,0 +1,449 @@
+#include "core/opera_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace opera::core {
+
+OperaNetwork::OperaNetwork(const OperaConfig& config)
+    : config_(config),
+      topo_(config.topology),
+      rng_(config.seed),
+      failures_(topo::FailureSet::none(config.topology.num_racks,
+                                       config.topology.num_switches)) {
+  relay_reach_.assign(static_cast<std::size_t>(config_.topology.num_racks),
+                      std::vector<bool>(static_cast<std::size_t>(config_.topology.num_racks),
+                                        true));
+  build_nodes();
+  install_forwarding();
+  install_host_handlers();
+
+  // Precompute the per-slice low-latency forwarding tables (paper §4.3:
+  // all routing state is known at design time).
+  slice_routes_.reserve(static_cast<std::size_t>(topo_.num_slices()));
+  for (int s = 0; s < topo_.num_slices(); ++s) {
+    slice_routes_.push_back(topo_.slice_routes(s));
+  }
+
+  // Physical wiring of slice 0, then the slice clock.
+  wire_slice(0);
+  sim_.schedule_at(sim::Time::zero(), [this] { on_slice_boundary(0); });
+}
+
+OperaNetwork::~OperaNetwork() = default;
+
+void OperaNetwork::build_nodes() {
+  const auto d = config_.topology.hosts_per_rack;
+  const auto u = config_.topology.num_switches;
+  const auto n = config_.topology.num_racks;
+  const auto tor_q = config_.tor_queue_config();
+  const auto host_q = config_.host_queue_config();
+
+  for (topo::Vertex r = 0; r < n; ++r) {
+    auto tor = std::make_unique<net::Switch>(sim_, "tor" + std::to_string(r), r);
+    // Downlinks then uplinks.
+    for (int i = 0; i < d + u; ++i) {
+      tor->add_port(config_.link.rate_bps, config_.link.propagation, tor_q);
+    }
+    relays_.push_back(std::make_unique<transport::RotorRelayBuffer>(n));
+    tors_.push_back(std::move(tor));
+  }
+  for (topo::Vertex r = 0; r < n; ++r) {
+    for (int i = 0; i < d; ++i) {
+      const auto id = static_cast<std::int32_t>(r) * d + i;
+      auto host = std::make_unique<net::Host>(sim_, "host" + std::to_string(id), id, r);
+      host->add_port(config_.link.rate_bps, config_.link.propagation, host_q);
+      host->uplink().connect(tors_[static_cast<std::size_t>(r)].get(), i);
+      tors_[static_cast<std::size_t>(r)]->port(i).connect(host.get(), 0);
+      agents_.push_back(std::make_unique<transport::RotorLbAgent>(*host, tracker_, n));
+      hosts_.push_back(std::move(host));
+    }
+  }
+}
+
+int OperaNetwork::slice_at(sim::Time t) const {
+  const auto abs = t / config_.slice.duration;
+  return static_cast<int>(abs % topo_.num_slices());
+}
+
+int OperaNetwork::routing_slice() const {
+  // In the tail of a slice, route low-latency traffic by the *next*
+  // slice's tables: those exclude the uplink that reconfigures at the
+  // boundary, so nothing is left queued on it when it flushes (§4.1's
+  // epsilon rule). The next-slice tables are physically valid here: the
+  // currently-reconfiguring switch settled onto its next matching at +r.
+  const sim::Time into_slice = sim_.now() % config_.slice.duration;
+  if (config_.slice.duration - into_slice <= config_.slice.drain_window) {
+    return (current_slice_ + 1) % topo_.num_slices();
+  }
+  return current_slice_;
+}
+
+int OperaNetwork::uplink_to(int slice, std::int32_t rack, std::int32_t peer_rack) const {
+  const int u = config_.topology.num_switches;
+  const int down = topo_.reconfiguring_switch(slice);
+  for (int sw = 0; sw < u; ++sw) {
+    if (sw == down) continue;
+    if (failures_.switch_failed[static_cast<std::size_t>(sw)]) continue;
+    if (failures_.uplink_failed[static_cast<std::size_t>(rack)][static_cast<std::size_t>(sw)]) {
+      continue;
+    }
+    if (topo_.circuit_peer(sw, rack, slice) == peer_rack) {
+      // The circuit also needs the peer's uplink to this switch.
+      if (failures_.uplink_failed[static_cast<std::size_t>(peer_rack)]
+                                 [static_cast<std::size_t>(sw)]) {
+        continue;
+      }
+      return sw;
+    }
+  }
+  return -1;
+}
+
+void OperaNetwork::wire_slice(int slice) {
+  // Point every (non-reconfiguring) uplink at its circuit peer.
+  const int u = config_.topology.num_switches;
+  const int d = config_.topology.hosts_per_rack;
+  for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
+    for (int sw = 0; sw < u; ++sw) {
+      const topo::Vertex peer = topo_.circuit_peer(sw, r, slice);
+      auto& port = tors_[static_cast<std::size_t>(r)]->port(uplink_port(sw));
+      if (peer == r) {
+        port.set_enabled(false);  // self-match: no circuit this matching
+      } else {
+        port.connect(tors_[static_cast<std::size_t>(peer)].get(), d + sw);
+        port.set_enabled(true);
+      }
+    }
+  }
+}
+
+void OperaNetwork::on_slice_boundary(std::int64_t abs_slice) {
+  abs_slice_ = abs_slice;
+  current_slice_ = static_cast<int>(abs_slice % topo_.num_slices());
+  const int slice = current_slice_;
+  const int sw_dn = topo_.reconfiguring_switch(slice);
+  const int next_slice = (slice + 1) % topo_.num_slices();
+
+  // Take the reconfiguring switch's circuits down; anything still queued on
+  // those uplinks is lost (bulk gets NACKed back to the source host).
+  for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
+    auto& port = tors_[static_cast<std::size_t>(r)]->port(uplink_port(sw_dn));
+    net::Switch& tor = *tors_[static_cast<std::size_t>(r)];
+    port.queue().flush([this, &tor](const net::Packet& pkt) {
+      if (pkt.type == net::PacketType::kData &&
+          pkt.tclass == net::TrafficClass::kBulk) {
+        tor.receive(net::make_control(pkt, net::PacketType::kNack), -1);
+      }
+    });
+    port.set_enabled(false);
+  }
+
+  // The rotor settles on its next matching after the reconfiguration delay.
+  sim_.schedule_in(config_.slice.reconfiguration, [this, sw_dn, next_slice] {
+    if (failures_.switch_failed[static_cast<std::size_t>(sw_dn)]) return;
+    const int d = config_.topology.hosts_per_rack;
+    for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
+      const topo::Vertex peer = topo_.circuit_peer(sw_dn, r, next_slice);
+      auto& port = tors_[static_cast<std::size_t>(r)]->port(uplink_port(sw_dn));
+      if (peer == r ||
+          failures_.uplink_failed[static_cast<std::size_t>(r)]
+                                 [static_cast<std::size_t>(sw_dn)]) {
+        port.set_enabled(false);
+      } else {
+        port.connect(tors_[static_cast<std::size_t>(peer)].get(), d + sw_dn);
+        port.set_enabled(true);
+      }
+    }
+  });
+
+  allocate_bulk(slice);
+
+  sim_.schedule_in(config_.slice.duration,
+                   [this, abs_slice] { on_slice_boundary(abs_slice + 1); });
+}
+
+void OperaNetwork::allocate_bulk(int slice) {
+  const int u = config_.topology.num_switches;
+  const int d = config_.topology.hosts_per_rack;
+  const int down = topo_.reconfiguring_switch(slice);
+  const std::int64_t uplink_budget = config_.slice_bulk_budget();
+
+  std::vector<std::int64_t> host_budget(hosts_.size(), config_.host_slice_budget());
+  // Receiver "accept" budgets (RotorLB): a destination rack can absorb at
+  // most its downlink capacity per slice; grants beyond that would only be
+  // dropped at its ToR.
+  std::vector<std::int64_t> in_budget(static_cast<std::size_t>(topo_.num_racks()),
+                                      static_cast<std::int64_t>(d) *
+                                          config_.host_slice_budget());
+  // VLB injections are bounded separately: the true receive constraint is
+  // enforced when the relay forwards (take() above), so the injection cap
+  // only limits relay-buffer growth toward any one destination.
+  std::vector<std::int64_t> vlb_budget(in_budget);
+
+  // Randomize uplink service order so no switch is systematically favored.
+  std::vector<int> order(static_cast<std::size_t>(u));
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(std::span<int>{order});
+
+  for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
+    for (const int sw : order) {
+      if (sw == down) continue;
+      if (failures_.switch_failed[static_cast<std::size_t>(sw)]) continue;
+      if (failures_.uplink_failed[static_cast<std::size_t>(r)][static_cast<std::size_t>(sw)]) {
+        continue;
+      }
+      const topo::Vertex peer = topo_.circuit_peer(sw, r, slice);
+      if (peer == r) continue;
+      if (failures_.uplink_failed[static_cast<std::size_t>(peer)][static_cast<std::size_t>(sw)]) {
+        continue;
+      }
+      std::int64_t budget = uplink_budget;
+      net::Switch& tor = *tors_[static_cast<std::size_t>(r)];
+      auto& peer_in = in_budget[static_cast<std::size_t>(peer)];
+
+      // (a) Once-relayed VLB traffic has priority (RotorLB).
+      for (auto& pkt :
+           relays_[static_cast<std::size_t>(r)]->take(peer, std::min(budget, peer_in))) {
+        budget -= pkt->size_bytes;
+        peer_in -= pkt->size_bytes;
+        tor.port(uplink_port(sw)).send(std::move(pkt));
+      }
+
+      // (b) Hosts' direct traffic, round-robin offset by slice for fairness.
+      for (int i = 0; i < d && budget > 0 && peer_in > 0; ++i) {
+        const auto h = static_cast<std::size_t>(r) * static_cast<std::size_t>(d) +
+                       static_cast<std::size_t>((i + slice) % d);
+        const std::int64_t grant = std::min({budget, host_budget[h], peer_in});
+        if (grant <= 0) continue;
+        const std::int64_t sent = agents_[h]->grant_direct(peer, grant);
+        budget -= sent;
+        host_budget[h] -= sent;
+        peer_in -= sent;
+      }
+
+      // (c) Two-hop VLB into leftover capacity (kicks in exactly when
+      // demand is skewed: uniform loads consume the budget directly). The
+      // relay leg is not receive-limited (it lands in the relay ToR's
+      // buffer), but the final destinations are.
+      if (config_.enable_vlb) {
+        for (int i = 0; i < d && budget > 0; ++i) {
+          const auto h = static_cast<std::size_t>(r) * static_cast<std::size_t>(d) +
+                         static_cast<std::size_t>((i + slice) % d);
+          const std::int64_t grant = std::min(budget, host_budget[h]);
+          if (grant <= 0) continue;
+          const std::int64_t sent = agents_[h]->grant_vlb(
+              peer, grant, std::span<std::int64_t>(vlb_budget),
+              &relay_reach_[static_cast<std::size_t>(peer)]);
+          budget -= sent;
+          host_budget[h] -= sent;
+        }
+      }
+    }
+  }
+}
+
+void OperaNetwork::install_forwarding() {
+  const int d = config_.topology.hosts_per_rack;
+  for (auto& tor : tors_) {
+    tor->set_intercept([this](net::Switch& swch, net::PacketPtr& pkt, int) {
+      if (pkt->vlb_relay && pkt->relay_rack == swch.id() &&
+          pkt->dst_rack != swch.id()) {
+        relays_[static_cast<std::size_t>(swch.id())]->store(std::move(pkt));
+        return true;
+      }
+      return false;
+    });
+
+    tor->set_forward([this, d](net::Switch& swch, const net::Packet& pkt, int) -> int {
+      const std::int32_t rack = swch.id();
+      const bool low_latency_path =
+          pkt.tclass == net::TrafficClass::kLowLatency ||
+          pkt.type != net::PacketType::kData;
+      if (low_latency_path) {
+        if (pkt.dst_rack == rack) return pkt.dst_host - rack * d;
+        const int rslice = routing_slice();
+        const auto& nexts = slice_routes_[static_cast<std::size_t>(rslice)]
+                                         [static_cast<std::size_t>(rack)]
+                                         [static_cast<std::size_t>(pkt.dst_rack)];
+        if (nexts.empty()) return -1;
+        const topo::Vertex next = nexts[rng_.index(nexts.size())];
+        const int sw = uplink_to(rslice, rack, next);
+        return sw < 0 ? -1 : uplink_port(sw);
+      }
+      // Bulk data rides direct circuits only (§4.3's bulk table).
+      const std::int32_t target = pkt.vlb_relay ? pkt.relay_rack : pkt.dst_rack;
+      if (target == rack) return pkt.dst_host - rack * d;
+      const int sw = uplink_to(current_slice_, rack, target);
+      return sw < 0 ? -1 : uplink_port(sw);
+    });
+
+    tor->set_drop_hook([](net::Switch& swch, const net::Packet& pkt) {
+      if (pkt.type == net::PacketType::kData &&
+          pkt.tclass == net::TrafficClass::kBulk) {
+        swch.receive(net::make_control(pkt, net::PacketType::kNack), -1);
+      }
+    });
+
+    // Bulk overflow on any ToR queue NACKs the source (RotorLB, §4.2.2).
+    // Downlinks matter too: direct and VLB-relayed traffic can converge on
+    // one receiving host within a slice.
+    const int u = config_.topology.num_switches;
+    for (int p = 0; p < d + u; ++p) {
+      net::Switch* tor_ptr = tor.get();
+      tor->port(p).queue().set_bulk_drop_handler(
+          [tor_ptr](const net::Packet& pkt) {
+            tor_ptr->receive(net::make_control(pkt, net::PacketType::kNack), -1);
+          });
+    }
+  }
+}
+
+void OperaNetwork::install_host_handlers() {
+  for (auto& host : hosts_) {
+    host->set_default_handler([this](net::Host& h, net::PacketPtr pkt) {
+      const transport::Flow* flow = tracker_.find(pkt->flow_id);
+      if (flow == nullptr) return;
+      if (pkt->type == net::PacketType::kNack) {
+        // RotorLB loss notification back at the source host.
+        if (flow->src_host == h.id() && flow->tclass == net::TrafficClass::kBulk) {
+          agents_[static_cast<std::size_t>(h.id())]->handle_nack(flow->id, pkt->seq);
+        }
+        return;
+      }
+      if (pkt->type != net::PacketType::kData && pkt->type != net::PacketType::kHeader) {
+        return;  // stray control for a finished flow
+      }
+      if (flow->dst_host != h.id()) return;
+      // First packet of a flow at its destination: create the sink.
+      if (flow->tclass == net::TrafficClass::kBulk) {
+        auto sink = std::make_unique<transport::RotorLbSink>(h, *flow, tracker_);
+        auto* raw = sink.get();
+        bulk_sinks_.push_back(std::move(sink));
+        h.register_flow(flow->id,
+                        [raw](net::PacketPtr p) { raw->on_packet(std::move(p)); });
+        raw->on_packet(std::move(pkt));
+      } else {
+        auto sink = std::make_unique<transport::NdpSink>(h, *flow, tracker_);
+        auto* raw = sink.get();
+        ndp_sinks_.push_back(std::move(sink));
+        h.register_flow(flow->id,
+                        [raw](net::PacketPtr p) { raw->on_packet(std::move(p)); });
+        raw->on_packet(std::move(pkt));
+      }
+    });
+  }
+}
+
+std::uint64_t OperaNetwork::submit_flow(std::int32_t src_host, std::int32_t dst_host,
+                                        std::int64_t size_bytes, sim::Time start,
+                                        std::optional<net::TrafficClass> force) {
+  assert(src_host != dst_host);
+  transport::Flow flow;
+  flow.id = tracker_.next_flow_id();
+  flow.src_host = src_host;
+  flow.dst_host = dst_host;
+  flow.src_rack = rack_of_host(src_host);
+  flow.dst_rack = rack_of_host(dst_host);
+  flow.size_bytes = size_bytes;
+  flow.start = start;
+  flow.tclass = force.value_or(size_bytes >= config_.bulk_threshold_bytes
+                                   ? net::TrafficClass::kBulk
+                                   : net::TrafficClass::kLowLatency);
+  // Intra-rack bulk never needs a circuit; service it on the low-latency
+  // path (one ToR hop).
+  if (flow.src_rack == flow.dst_rack) flow.tclass = net::TrafficClass::kLowLatency;
+  tracker_.register_flow(flow);
+
+  sim_.schedule_at(start, [this, flow] {
+    if (flow.tclass == net::TrafficClass::kBulk) {
+      agents_[static_cast<std::size_t>(flow.src_host)]->add_flow(flow);
+    } else {
+      auto source = std::make_unique<transport::NdpSource>(
+          host(flow.src_host), flow, tracker_, config_.ndp);
+      source->start();
+      ndp_sources_.push_back(std::move(source));
+    }
+  });
+  return flow.id;
+}
+
+void OperaNetwork::run_until(sim::Time t) { sim_.run_until(t); }
+
+void OperaNetwork::inject_uplink_failure(std::int32_t rack, int rotor_switch) {
+  failures_.uplink_failed[static_cast<std::size_t>(rack)]
+                         [static_cast<std::size_t>(rotor_switch)] = true;
+  // Anything queued on the dead uplink is lost now; NACK bulk back to the
+  // sources over the (still connected) expander.
+  net::Switch& t = tor(rack);
+  t.port(uplink_port(rotor_switch)).queue().flush([&t](const net::Packet& pkt) {
+    if (pkt.type == net::PacketType::kData && pkt.tclass == net::TrafficClass::kBulk) {
+      t.receive(net::make_control(pkt, net::PacketType::kNack), -1);
+    }
+  });
+  t.port(uplink_port(rotor_switch)).set_enabled(false);
+  // Hello-protocol dissemination: tables reconverge after one cycle.
+  sim_.schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
+}
+
+void OperaNetwork::inject_switch_failure(int rotor_switch) {
+  failures_.switch_failed[static_cast<std::size_t>(rotor_switch)] = true;
+  for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
+    net::Switch& t = tor(r);
+    t.port(uplink_port(rotor_switch)).queue().flush([&t](const net::Packet& pkt) {
+      if (pkt.type == net::PacketType::kData &&
+          pkt.tclass == net::TrafficClass::kBulk) {
+        t.receive(net::make_control(pkt, net::PacketType::kNack), -1);
+      }
+    });
+    t.port(uplink_port(rotor_switch)).set_enabled(false);
+  }
+  sim_.schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
+}
+
+void OperaNetwork::recompute_after_failure() {
+  for (int s = 0; s < topo_.num_slices(); ++s) {
+    slice_routes_[static_cast<std::size_t>(s)] = topo_.slice_routes(s, &failures_);
+  }
+  // Recompute direct reachability, purge relay buffers of traffic whose
+  // final direct circuit no longer exists (its matching lived on a failed
+  // switch/uplink), and stop routing new VLB traffic through dead-end
+  // relays. NACKs send stranded packets back to their sources.
+  for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
+    auto& relay = *relays_[static_cast<std::size_t>(r)];
+    for (topo::Vertex dst = 0; dst < topo_.num_racks(); ++dst) {
+      if (dst == r) continue;
+      bool reachable = false;
+      for (int s = 0; s < topo_.num_slices() && !reachable; ++s) {
+        reachable = uplink_to(s, r, dst) >= 0;
+      }
+      relay_reach_[static_cast<std::size_t>(r)][static_cast<std::size_t>(dst)] =
+          reachable;
+      if (reachable || relay.queued_bytes(dst) == 0) continue;
+      net::Switch& t = tor(r);
+      for (auto& pkt : relay.take(dst, std::numeric_limits<std::int64_t>::max())) {
+        if (pkt->type == net::PacketType::kData &&
+            pkt->tclass == net::TrafficClass::kBulk) {
+          t.receive(net::make_control(*pkt, net::PacketType::kNack), -1);
+        }
+      }
+    }
+  }
+}
+
+OperaNetwork::TorStats OperaNetwork::tor_stats() const {
+  TorStats stats;
+  const int d = config_.topology.hosts_per_rack;
+  const int u = config_.topology.num_switches;
+  for (const auto& tor : tors_) {
+    stats.forward_drops += tor->forward_drops();
+    for (int p = 0; p < d + u; ++p) {
+      stats.trims += tor->port(p).queue().trims();
+      stats.drops += tor->port(p).queue().drops();
+    }
+  }
+  return stats;
+}
+
+}  // namespace opera::core

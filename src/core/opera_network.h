@@ -1,0 +1,135 @@
+// OperaNetwork — the packet-level Opera fabric (the paper's §3-§4 system):
+// hosts with NDP sources/sinks and RotorLB agents, ToR switches with
+// per-slice forwarding state, and rotor circuit switches realized as
+// retargetable ToR-to-ToR links driven by the slice schedule.
+//
+// This is the library's primary public entry point:
+//
+//   core::OperaConfig cfg;                   // paper-scale defaults
+//   cfg.topology.num_racks = 16; ...
+//   core::OperaNetwork net(cfg);
+//   net.submit_flow(src_host, dst_host, bytes, at);
+//   net.run_until(sim::Time::ms(50));
+//   net.tracker().fct_us(...);               // measurements
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "net/host.h"
+#include "net/switch.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "topo/opera_topology.h"
+#include "transport/flow.h"
+#include "transport/ndp.h"
+#include "transport/rotorlb.h"
+
+namespace opera::core {
+
+class OperaNetwork {
+ public:
+  explicit OperaNetwork(const OperaConfig& config);
+  ~OperaNetwork();
+
+  OperaNetwork(const OperaNetwork&) = delete;
+  OperaNetwork& operator=(const OperaNetwork&) = delete;
+
+  // Classifies by size against bulk_threshold_bytes unless `force` is
+  // given (the paper's application-based tagging, §3.4), registers the
+  // flow, and schedules its start. Returns the flow id.
+  std::uint64_t submit_flow(std::int32_t src_host, std::int32_t dst_host,
+                            std::int64_t size_bytes, sim::Time start,
+                            std::optional<net::TrafficClass> force = std::nullopt);
+
+  void run_until(sim::Time t);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] transport::FlowTracker& tracker() { return tracker_; }
+  [[nodiscard]] const OperaConfig& config() const { return config_; }
+  [[nodiscard]] const topo::OperaTopology& topology() const { return topo_; }
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(hosts_.size());
+  }
+  [[nodiscard]] std::int32_t num_racks() const { return topo_.num_racks(); }
+  [[nodiscard]] net::Host& host(std::int32_t id) {
+    return *hosts_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] net::Switch& tor(std::int32_t rack) {
+    return *tors_[static_cast<std::size_t>(rack)];
+  }
+  [[nodiscard]] std::int32_t rack_of_host(std::int32_t host) const {
+    return host / config_.topology.hosts_per_rack;
+  }
+
+  // Slice index (within [0, num_slices)) active at time `t`.
+  [[nodiscard]] int slice_at(sim::Time t) const;
+  [[nodiscard]] int current_slice() const { return current_slice_; }
+  // Slice whose tables low-latency forwarding uses right now (advances to
+  // the next slice inside the end-of-slice drain window; see config.h).
+  [[nodiscard]] int routing_slice() const;
+
+  // Aggregate drop/trim statistics across all ToR uplinks.
+  struct TorStats {
+    std::uint64_t trims = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t forward_drops = 0;
+  };
+  [[nodiscard]] TorStats tor_stats() const;
+
+  // Runtime fault injection (paper §3.6.2): the failed component stops
+  // carrying traffic immediately; every ToR learns of the failure and
+  // recomputes its tables one full cycle later (the hello protocol
+  // guarantees dissemination within at most two cycles — we model the
+  // typical one). Until then, packets that would use the failed component
+  // are dropped and recovered by the transports.
+  void inject_uplink_failure(std::int32_t rack, int rotor_switch);
+  void inject_switch_failure(int rotor_switch);
+  [[nodiscard]] const topo::FailureSet& failures() const { return failures_; }
+
+ private:
+  void build_nodes();
+  void recompute_after_failure();
+  void wire_slice(int slice);
+  void on_slice_boundary(std::int64_t abs_slice);
+  void allocate_bulk(int slice);
+  void install_forwarding();
+  void install_host_handlers();
+
+  // Uplink port index on a ToR for rotor switch `sw`.
+  [[nodiscard]] int uplink_port(int sw) const {
+    return config_.topology.hosts_per_rack + sw;
+  }
+  // The active uplink (rotor switch index) whose circuit currently reaches
+  // `peer_rack` from `rack` in `slice`; -1 if none.
+  [[nodiscard]] int uplink_to(int slice, std::int32_t rack, std::int32_t peer_rack) const;
+
+  OperaConfig config_;
+  topo::OperaTopology topo_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  transport::FlowTracker tracker_;
+
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Switch>> tors_;
+  std::vector<std::unique_ptr<transport::RotorLbAgent>> agents_;       // per host
+  std::vector<std::unique_ptr<transport::RotorRelayBuffer>> relays_;   // per ToR
+  std::vector<std::unique_ptr<transport::NdpSource>> ndp_sources_;
+  std::vector<std::unique_ptr<transport::NdpSink>> ndp_sinks_;
+  std::vector<std::unique_ptr<transport::RotorLbSink>> bulk_sinks_;
+
+  // Precomputed per-slice low-latency ECMP tables (paper §4.3).
+  std::vector<topo::EcmpTable> slice_routes_;
+  topo::FailureSet failures_;
+  // relay_reach_[r][dst]: rack r still gets a direct circuit to dst in some
+  // slice (used to keep VLB from picking dead-end relays after failures).
+  std::vector<std::vector<bool>> relay_reach_;
+
+  int current_slice_ = 0;
+  std::int64_t abs_slice_ = 0;
+};
+
+}  // namespace opera::core

@@ -1,0 +1,112 @@
+// Packet-level RotorNet baseline (paper §5, Fig. 7c): rotor circuit
+// switches that all reconfigure in unison, RotorLB for every flow. The
+// hybrid variant donates one ToR uplink to an (idealized, non-blocking)
+// packet-switched core that carries low-latency traffic with NDP — this
+// favors the baseline, and is documented in DESIGN.md as a substitution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "net/host.h"
+#include "net/switch.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "topo/rotornet.h"
+#include "transport/flow.h"
+#include "transport/ndp.h"
+#include "transport/rotorlb.h"
+
+namespace opera::core {
+
+struct RotorNetConfig {
+  topo::RotorNetParams structure;  // defaults: 108 racks, 6 switches
+  int hosts_per_rack = 6;
+  LinkParams link;
+  SliceParams slice;
+  transport::NdpConfig ndp;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] net::PortQueue::Config tor_queue_config() const {
+    net::PortQueue::Config q;
+    q.low_latency_capacity_bytes = 24'000;
+    q.control_capacity_bytes = 24'000;
+    q.bulk_capacity_bytes = 2 * slice_bulk_budget();
+    q.trim_low_latency = true;
+    q.trim_bulk = false;
+    return q;
+  }
+  [[nodiscard]] net::PortQueue::Config host_queue_config() const {
+    net::PortQueue::Config q;
+    q.low_latency_capacity_bytes = 4'000'000;
+    q.control_capacity_bytes = 1'000'000;
+    q.bulk_capacity_bytes = 4 * slice_bulk_budget();
+    q.trim_low_latency = false;
+    q.trim_bulk = false;
+    return q;
+  }
+  // All rotors blink together: only (slice - reconfiguration - guard) is
+  // usable per slice, unlike Opera's staggered design.
+  [[nodiscard]] std::int64_t slice_bulk_budget() const {
+    const sim::Time usable = slice.duration - slice.reconfiguration - slice.guard;
+    return static_cast<std::int64_t>(usable.to_seconds() * link.rate_bps / 8.0);
+  }
+};
+
+class RotorNetNetwork {
+ public:
+  explicit RotorNetNetwork(const RotorNetConfig& config);
+
+  // Non-hybrid: every flow is bulk (RotorLB). Hybrid: flows are NDP
+  // low-latency through the packet core unless bulk-classified (>= 15 MB
+  // by default) or forced.
+  std::uint64_t submit_flow(std::int32_t src_host, std::int32_t dst_host,
+                            std::int64_t size_bytes, sim::Time start,
+                            std::optional<net::TrafficClass> force = std::nullopt);
+
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] transport::FlowTracker& tracker() { return tracker_; }
+  [[nodiscard]] const RotorNetConfig& config() const { return config_; }
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(hosts_.size());
+  }
+  [[nodiscard]] net::Host& host(std::int32_t id) {
+    return *hosts_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::int32_t rack_of_host(std::int32_t host) const {
+    return host / config_.hosts_per_rack;
+  }
+  std::int64_t bulk_threshold_bytes = 15'000'000;
+
+ private:
+  void build();
+  void on_slice_boundary(std::int64_t abs_slice);
+  void allocate_bulk(int slice);
+  [[nodiscard]] int uplink_port(int sw) const { return config_.hosts_per_rack + sw; }
+  [[nodiscard]] int core_port() const {
+    return config_.hosts_per_rack + topo_.num_rotor_switches();
+  }
+  [[nodiscard]] int uplink_to(int slice, std::int32_t rack, std::int32_t peer) const;
+
+  RotorNetConfig config_;
+  topo::RotorNetTopology topo_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  transport::FlowTracker tracker_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Switch>> tors_;
+  std::unique_ptr<net::Switch> core_;  // hybrid only: idealized big switch
+  std::vector<std::unique_ptr<transport::RotorLbAgent>> agents_;
+  std::vector<std::unique_ptr<transport::RotorRelayBuffer>> relays_;
+  std::vector<std::unique_ptr<transport::NdpSource>> ndp_sources_;
+  std::vector<std::unique_ptr<transport::NdpSink>> ndp_sinks_;
+  std::vector<std::unique_ptr<transport::RotorLbSink>> bulk_sinks_;
+  int current_slice_ = 0;
+};
+
+}  // namespace opera::core

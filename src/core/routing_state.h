@@ -1,0 +1,44 @@
+// Routing-state model (paper §6.2, Table 1): the P4 ruleset an Opera ToR
+// must hold. Per topology slice there are N_rack-1 low-latency rules (one
+// per destination rack) plus u-1 bulk rules (one per active direct
+// circuit), and N_rack slices:
+//
+//   entries(N, u) = N * (N - 1) + N * (u - 1)
+//
+// Utilization is measured against the Tofino 65x100GE table capacity the
+// paper's Capilano runs imply (~1.70M entries).
+#pragma once
+
+#include <cstdint>
+
+namespace opera::core {
+
+struct RoutingStateModel {
+  // Match-action entries implied by Barefoot's Capilano compiler on the
+  // paper's rulesets (Table 1: entries / utilization).
+  static constexpr double kTofinoCapacityEntries = 1.701e6;
+
+  [[nodiscard]] static std::int64_t low_latency_entries(std::int64_t racks) {
+    return racks * (racks - 1);
+  }
+  [[nodiscard]] static std::int64_t bulk_entries(std::int64_t racks, int uplinks) {
+    return racks * (uplinks - 1);
+  }
+  [[nodiscard]] static std::int64_t total_entries(std::int64_t racks, int uplinks) {
+    return low_latency_entries(racks) + bulk_entries(racks, uplinks);
+  }
+  [[nodiscard]] static double utilization_percent(std::int64_t entries) {
+    return 100.0 * static_cast<double>(entries) / kTofinoCapacityEntries;
+  }
+
+  struct TableRow {
+    std::int64_t racks;
+    int radix;  // ToR radix k; uplinks = k/2
+  };
+  // The datacenter sizes of Table 1.
+  static constexpr TableRow kPaperRows[] = {
+      {108, 12}, {252, 18}, {520, 26}, {768, 32}, {1008, 36}, {1200, 40},
+  };
+};
+
+}  // namespace opera::core

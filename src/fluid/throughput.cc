@@ -1,0 +1,259 @@
+#include "fluid/throughput.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "sim/rng.h"
+
+namespace opera::fluid {
+
+double Demand::total() const {
+  double sum = 0.0;
+  for (const double v : m_) sum += v;
+  return sum;
+}
+
+double Demand::row_sum(int a) const {
+  double sum = 0.0;
+  for (int b = 0; b < n_; ++b) sum += (*this)(a, b);
+  return sum;
+}
+
+double Demand::col_sum(int b) const {
+  double sum = 0.0;
+  for (int a = 0; a < n_; ++a) sum += (*this)(a, b);
+  return sum;
+}
+
+Demand Demand::all_to_all(int num_racks, int hosts_per_rack, double host_rate_bps) {
+  Demand d(num_racks);
+  const double per_pair =
+      hosts_per_rack * host_rate_bps / static_cast<double>(num_racks - 1);
+  for (int a = 0; a < num_racks; ++a) {
+    for (int b = 0; b < num_racks; ++b) {
+      if (a != b) d.add(a, b, per_pair);
+    }
+  }
+  return d;
+}
+
+Demand Demand::hotrack(int num_racks, int hosts_per_rack, double host_rate_bps) {
+  assert(num_racks >= 2);
+  Demand d(num_racks);
+  d.add(0, 1, hosts_per_rack * host_rate_bps);
+  return d;
+}
+
+Demand Demand::permutation(int num_racks, int hosts_per_rack, double host_rate_bps,
+                           unsigned seed) {
+  // Host-level permutation: each host sends at full rate to one host in a
+  // random other rack.
+  Demand d(num_racks);
+  sim::Rng rng(seed);
+  for (int a = 0; a < num_racks; ++a) {
+    for (int h = 0; h < hosts_per_rack; ++h) {
+      int b = static_cast<int>(rng.index(static_cast<std::size_t>(num_racks)));
+      while (b == a) b = static_cast<int>(rng.index(static_cast<std::size_t>(num_racks)));
+      d.add(a, b, host_rate_bps);
+    }
+  }
+  return d;
+}
+
+Demand Demand::skew(int num_racks, int hosts_per_rack, double host_rate_bps,
+                    double active_fraction, unsigned seed) {
+  Demand d(num_racks);
+  sim::Rng rng(seed);
+  const auto active = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(active_fraction * num_racks)));
+  const auto racks =
+      rng.sample_without_replacement(static_cast<std::size_t>(num_racks), active);
+  const double per_pair =
+      hosts_per_rack * host_rate_bps / static_cast<double>(active - 1);
+  for (const std::size_t a : racks) {
+    for (const std::size_t b : racks) {
+      if (a != b) d.add(static_cast<int>(a), static_cast<int>(b), per_pair);
+    }
+  }
+  return d;
+}
+
+double clos_throughput(const Demand& demand, int hosts_per_rack, double host_rate_bps,
+                       double oversubscription) {
+  const double up_capacity = hosts_per_rack * host_rate_bps / oversubscription;
+  double theta = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < demand.num_racks(); ++r) {
+    const double out = demand.row_sum(r);
+    const double in = demand.col_sum(r);
+    if (out > 0.0) theta = std::min(theta, up_capacity / out);
+    if (in > 0.0) theta = std::min(theta, up_capacity / in);
+    // Host links bound everything at 1.0x offered load by construction.
+    if (out > 0.0) theta = std::min(theta, hosts_per_rack * host_rate_bps / out);
+    if (in > 0.0) theta = std::min(theta, hosts_per_rack * host_rate_bps / in);
+  }
+  return std::isinf(theta) ? 0.0 : theta;
+}
+
+namespace {
+
+// Feasibility of theta*demand on graph g under one-hop-direct (graph
+// edges) plus two-hop VLB relay routing, using aggregate per-rack budgets.
+bool graph_vlb_feasible(const Demand& demand, const topo::Graph& g,
+                        double link_rate_bps, double theta) {
+  const int n = demand.num_racks();
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> in(static_cast<std::size_t>(n), 0.0);
+  double total_excess = 0.0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const double want = theta * demand(a, b);
+      if (want <= 0.0) continue;
+      const double direct_cap =
+          g.has_edge(static_cast<topo::Vertex>(a), static_cast<topo::Vertex>(b))
+              ? link_rate_bps
+              : 0.0;
+      total_excess += std::max(0.0, want - direct_cap);
+      out[static_cast<std::size_t>(a)] += want;
+      in[static_cast<std::size_t>(b)] += want;
+    }
+  }
+  double relay_capacity = 0.0;
+  for (int r = 0; r < n; ++r) {
+    const double budget = g.degree(static_cast<topo::Vertex>(r)) * link_rate_bps;
+    const double spare_out = budget - out[static_cast<std::size_t>(r)];
+    const double spare_in = budget - in[static_cast<std::size_t>(r)];
+    if (spare_out < 0.0 || spare_in < 0.0) return false;
+    relay_capacity += std::min(spare_out, spare_in);
+  }
+  return total_excess <= relay_capacity;
+}
+
+double graph_vlb_throughput(const Demand& demand, const topo::Graph& g,
+                            double link_rate_bps) {
+  double lo = 0.0;
+  double hi = 1.0;
+  while (graph_vlb_feasible(demand, g, link_rate_bps, hi) && hi < 1e6) hi *= 2.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (graph_vlb_feasible(demand, g, link_rate_bps, mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+double expander_throughput(const Demand& demand, const topo::Graph& g,
+                           double link_rate_bps, bool enable_vlb) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  assert(static_cast<int>(n) == demand.num_racks());
+  // Directed edge loads under ECMP splitting; edges indexed by (src,
+  // adjacency position).
+  std::vector<std::vector<double>> load(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    load[v].assign(g.neighbors(static_cast<topo::Vertex>(v)).size(), 0.0);
+  }
+
+  std::vector<double> node_flow(n);
+  std::vector<topo::Vertex> order(n);
+  for (int b = 0; b < demand.num_racks(); ++b) {
+    if (demand.col_sum(b) <= 0.0) continue;
+    const auto dist = bfs_distances(g, static_cast<topo::Vertex>(b));
+    std::fill(node_flow.begin(), node_flow.end(), 0.0);
+    for (int a = 0; a < demand.num_racks(); ++a) {
+      node_flow[static_cast<std::size_t>(a)] = demand(a, b);
+    }
+    // Drain nodes farthest-first so all upstream flow has arrived before a
+    // node splits its aggregate over the shortest-path DAG.
+    for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<topo::Vertex>(v);
+    std::sort(order.begin(), order.end(), [&](topo::Vertex x, topo::Vertex y) {
+      return dist[static_cast<std::size_t>(x)] > dist[static_cast<std::size_t>(y)];
+    });
+    for (const topo::Vertex v : order) {
+      const double f = node_flow[static_cast<std::size_t>(v)];
+      if (f <= 0.0 || v == static_cast<topo::Vertex>(b)) continue;
+      const auto& nbrs = g.neighbors(v);
+      int closer = 0;
+      for (const topo::Vertex w : nbrs) {
+        if (dist[static_cast<std::size_t>(w)] == dist[static_cast<std::size_t>(v)] - 1) {
+          ++closer;
+        }
+      }
+      assert(closer > 0 && "demand between disconnected racks");
+      const double share = f / closer;
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const topo::Vertex w = nbrs[j];
+        if (dist[static_cast<std::size_t>(w)] == dist[static_cast<std::size_t>(v)] - 1) {
+          load[static_cast<std::size_t>(v)][j] += share;
+          node_flow[static_cast<std::size_t>(w)] += share;
+        }
+      }
+    }
+  }
+
+  double max_load = 0.0;
+  for (const auto& row : load) {
+    for (const double l : row) max_load = std::max(max_load, l);
+  }
+  const double ecmp = max_load > 0.0 ? link_rate_bps / max_load : 0.0;
+  if (!enable_vlb) return ecmp;
+  return std::max(ecmp, graph_vlb_throughput(demand, g, link_rate_bps));
+}
+
+namespace {
+
+bool rotor_feasible(const Demand& demand, const RotorModelParams& p, double theta) {
+  const int n = p.num_racks;
+  const double active_uplinks = p.uplinks * p.active_fraction;
+  const double pair_cap =
+      active_uplinks / static_cast<double>(n) * p.link_rate_bps * p.duty_cycle;
+  const double rack_budget = active_uplinks * p.link_rate_bps * p.duty_cycle;
+
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> in(static_cast<std::size_t>(n), 0.0);
+  double total_excess = 0.0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const double want = theta * demand(a, b);
+      if (want <= 0.0) continue;
+      const double direct = std::min(want, pair_cap);
+      const double excess = want - direct;
+      if (excess > 0.0 && !p.enable_vlb) return false;
+      out[static_cast<std::size_t>(a)] += want;  // first hop always leaves a
+      in[static_cast<std::size_t>(b)] += want;   // last hop always enters b
+      total_excess += excess;
+    }
+  }
+  double relay_capacity = 0.0;
+  for (int r = 0; r < n; ++r) {
+    const double spare_out = rack_budget - out[static_cast<std::size_t>(r)];
+    const double spare_in = rack_budget - in[static_cast<std::size_t>(r)];
+    if (spare_out < 0.0 || spare_in < 0.0) return false;
+    relay_capacity += std::min(spare_out, spare_in);
+  }
+  return total_excess <= relay_capacity;
+}
+
+}  // namespace
+
+double rotor_throughput(const Demand& demand, const RotorModelParams& params) {
+  if (demand.total() <= 0.0) return 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  // Grow hi until infeasible (bounded: rack budgets cap throughput).
+  while (rotor_feasible(demand, params, hi) && hi < 1e6) hi *= 2.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (rotor_feasible(demand, params, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace opera::fluid

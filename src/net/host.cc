@@ -1,0 +1,38 @@
+#include "net/host.h"
+
+#include <utility>
+
+namespace opera::net {
+
+void Host::receive(PacketPtr pkt, int in_port) {
+  (void)in_port;
+  const auto it = handlers_.find(pkt->flow_id);
+  if (it != handlers_.end()) {
+    it->second(std::move(pkt));
+    return;
+  }
+  if (default_handler_) default_handler_(*this, std::move(pkt));
+  // else: packet for an unknown flow with no factory — dropped silently.
+}
+
+void Host::pace_control(PacketPtr pkt) {
+  pacer_queue_.push_back(std::move(pkt));
+  pacer_kick();
+}
+
+void Host::pacer_kick() {
+  if (pacer_busy_ || pacer_queue_.empty()) return;
+  pacer_busy_ = true;
+  PacketPtr pkt = std::move(pacer_queue_.front());
+  pacer_queue_.pop_front();
+  uplink().send(std::move(pkt));
+  // One control emission per full-MTU time: data pulled by these credits
+  // then arrives at (at most) the receiver's link rate.
+  const sim::Time interval = sim::Time::transmission(kMtuBytes, uplink().rate_bps());
+  sim_.schedule_in(interval, [this] {
+    pacer_busy_ = false;
+    pacer_kick();
+  });
+}
+
+}  // namespace opera::net

@@ -1,0 +1,44 @@
+#include "net/node.h"
+
+#include <cassert>
+
+namespace opera::net {
+
+EnqueueOutcome OutPort::send(PacketPtr pkt) {
+  if (!enabled_) {
+    // A disabled rotor uplink carries nothing; callers are expected to
+    // route around it, so treat stray sends as drops.
+    return EnqueueOutcome::kDropped;
+  }
+  const EnqueueOutcome outcome = queue_.enqueue(std::move(pkt));
+  if (outcome != EnqueueOutcome::kDropped) pump();
+  return outcome;
+}
+
+void OutPort::set_enabled(bool enabled) {
+  enabled_ = enabled;
+  if (enabled_) pump();
+}
+
+void OutPort::pump() {
+  if (busy_ || !enabled_ || queue_.empty()) return;
+  PacketPtr pkt = queue_.dequeue();
+  assert(pkt != nullptr);
+  busy_ = true;
+  const sim::Time serialization = sim::Time::transmission(pkt->size_bytes, rate_bps_);
+  // Capture the wire endpoints at serialization start: a rotor retarget
+  // mid-flight must not redirect bits already on the fiber.
+  Node* peer = peer_;
+  const int in_port = peer_in_port_;
+  const sim::Time arrival_delay = serialization + latency_;
+  auto* raw = pkt.release();
+  sim_.schedule_in(arrival_delay, [peer, in_port, raw] {
+    peer->receive(PacketPtr{raw}, in_port);
+  });
+  sim_.schedule_in(serialization, [this] {
+    busy_ = false;
+    pump();
+  });
+}
+
+}  // namespace opera::net

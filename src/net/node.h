@@ -1,0 +1,99 @@
+// Nodes (hosts and switches) and output ports (queue + serializing link).
+//
+// An OutPort models one unidirectional link: a PortQueue feeding a
+// serializer at `rate_bps`, then a fixed propagation delay to the peer
+// node. Rotor uplinks additionally support retargeting (the circuit switch
+// "patches" the far end to a different ToR each slice) and disable/flush
+// around reconfigurations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace opera::net {
+
+class Node;
+
+class OutPort {
+ public:
+  OutPort(sim::Simulator& sim, double rate_bps, sim::Time latency,
+          const PortQueue::Config& queue_config)
+      : sim_(sim), rate_bps_(rate_bps), latency_(latency), queue_(queue_config) {}
+
+  // Wires the far end. May be re-pointed at any time (rotor reconfigure);
+  // packets already serialized continue to their original destination.
+  void connect(Node* peer, int peer_in_port) {
+    peer_ = peer;
+    peer_in_port_ = peer_in_port;
+  }
+
+  // Enqueues and kicks the serializer.
+  EnqueueOutcome send(PacketPtr pkt);
+
+  // Disabled ports accept no new packets (sends are dropped) and stop
+  // serializing after the in-flight packet completes.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] PortQueue& queue() { return queue_; }
+  [[nodiscard]] const PortQueue& queue() const { return queue_; }
+  [[nodiscard]] Node* peer() const { return peer_; }
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+  [[nodiscard]] sim::Time latency() const { return latency_; }
+
+  // Bytes of bulk-band headroom currently available.
+  [[nodiscard]] std::int64_t bulk_headroom(std::int64_t capacity) const {
+    return capacity - queue_.bulk_bytes();
+  }
+
+ private:
+  void pump();
+
+  sim::Simulator& sim_;
+  double rate_bps_;
+  sim::Time latency_;
+  PortQueue queue_;
+  Node* peer_ = nullptr;
+  int peer_in_port_ = -1;
+  bool busy_ = false;
+  bool enabled_ = true;
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  virtual void receive(PacketPtr pkt, int in_port) = 0;
+
+  int add_port(double rate_bps, sim::Time latency, const PortQueue::Config& config) {
+    ports_.push_back(std::make_unique<OutPort>(sim_, rate_bps, latency, config));
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  [[nodiscard]] OutPort& port(int i) { return *ports_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const OutPort& port(int i) const { return *ports_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int num_ports() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+ protected:
+  sim::Simulator& sim_;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<OutPort>> ports_;
+};
+
+}  // namespace opera::net

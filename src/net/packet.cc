@@ -1,0 +1,21 @@
+#include "net/packet.h"
+
+namespace opera::net {
+
+PacketPtr make_control(const Packet& in_response_to, PacketType type) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->flow_id = in_response_to.flow_id;
+  pkt->seq = in_response_to.seq;
+  pkt->src_host = in_response_to.dst_host;
+  pkt->dst_host = in_response_to.src_host;
+  pkt->src_rack = in_response_to.dst_rack;
+  pkt->dst_rack = in_response_to.src_rack;
+  pkt->size_bytes = kHeaderBytes;
+  // Control packets ride the low-latency class so credits and loss
+  // notifications are never stuck behind bulk data.
+  pkt->tclass = TrafficClass::kLowLatency;
+  pkt->type = type;
+  return pkt;
+}
+
+}  // namespace opera::net

@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace opera::sim {
+
+void EventHandle::cancel() {
+  if (state_ != nullptr) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ != nullptr && !state_->cancelled && !state_->fired;
+}
+
+EventHandle EventQueue::schedule(Time at, Callback fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? Time::infinity() : heap_.top().at;
+}
+
+Time EventQueue::run_next() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // Move the entry out before running: the callback may schedule new events
+  // and reallocate the heap.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  entry.state->fired = true;
+  entry.fn();
+  return entry.at;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace opera::sim

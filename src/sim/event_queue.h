@@ -1,0 +1,79 @@
+// The discrete-event core: a cancellable binary-heap event queue.
+//
+// Events at equal timestamps fire in schedule order (a strictly increasing
+// sequence number breaks ties), which keeps simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace opera::sim {
+
+class EventQueue;
+
+// Handle returned by EventQueue::schedule(); lets the caller cancel a
+// pending event. Handles are cheap to copy and outliving the queue is safe.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Idempotent.
+  void cancel();
+
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` to run at absolute time `at`.
+  EventHandle schedule(Time at, Callback fn);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // Time of the earliest non-cancelled event; Time::infinity() if none.
+  [[nodiscard]] Time next_time() const;
+
+  // Pops and runs the earliest event; returns its timestamp.
+  // Precondition: !empty().
+  Time run_next();
+
+  // Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<EventHandle::State> state;
+    // Min-heap on (at, seq).
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace opera::sim

@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+namespace opera::sim {
+
+std::uint64_t Simulator::run_until(Time until) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
+    // Advance the clock before dispatching so callbacks observe now().
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++n;
+  }
+  if (queue_.empty() || queue_.next_time() > until) {
+    // Advance the clock to the horizon even if no event landed exactly there,
+    // so back-to-back run_until() calls see monotonic time.
+    if (until > now_ && until != Time::infinity()) now_ = until;
+  }
+  events_executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++n;
+  }
+  events_executed_ += n;
+  return n;
+}
+
+}  // namespace opera::sim

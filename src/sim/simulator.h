@@ -1,0 +1,46 @@
+// Simulator: the event loop plus the simulation clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace opera::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedules `fn` `delay` after the current time.
+  EventHandle schedule_in(Time delay, EventQueue::Callback fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute time `at` (must not be in the past).
+  EventHandle schedule_at(Time at, EventQueue::Callback fn) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  // Runs events until the queue drains or `until` is reached, whichever is
+  // first. Returns the number of events executed.
+  std::uint64_t run_until(Time until);
+
+  // Runs until the queue drains (or stop() is called).
+  std::uint64_t run();
+
+  // Stops the current run() after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace opera::sim

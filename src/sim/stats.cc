@@ -1,0 +1,97 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace opera::sim {
+
+double PercentileSampler::percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double PercentileSampler::min() const { return percentile(0.0); }
+double PercentileSampler::max() const { return percentile(100.0); }
+
+double PercentileSampler::mean() const {
+  assert(!samples_.empty());
+  double sum = 0.0;
+  for (const double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void RunningStat::add(double v) {
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+LogHistogram::LogHistogram(double lo, double hi, int buckets_per_decade)
+    : lo_(lo), log_lo_(std::log10(lo)) {
+  assert(lo > 0.0 && hi > lo && buckets_per_decade > 0);
+  log_step_ = 1.0 / buckets_per_decade;
+  const auto n = static_cast<std::size_t>(
+      std::ceil((std::log10(hi) - log_lo_) / log_step_));
+  weights_.assign(n + 1, 0.0);
+}
+
+std::size_t LogHistogram::bucket_of(double v) const {
+  if (v <= lo_) return 0;
+  const auto b = static_cast<std::size_t>((std::log10(v) - log_lo_) / log_step_);
+  return std::min(b, weights_.size() - 1);
+}
+
+void LogHistogram::add(double v, double weight) {
+  weights_[bucket_of(v)] += weight;
+  total_ += weight;
+}
+
+std::vector<LogHistogram::CdfPoint> LogHistogram::cdf() const {
+  std::vector<CdfPoint> points;
+  points.reserve(weights_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    cum += weights_[i];
+    const double edge = std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i + 1));
+    points.push_back({edge, total_ > 0.0 ? cum / total_ : 0.0});
+  }
+  return points;
+}
+
+void ThroughputSeries::record(Time at, std::int64_t bytes) {
+  const auto bin = static_cast<std::size_t>(at / bin_width_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+  bins_[bin] += bytes;
+  total_bytes_ += bytes;
+}
+
+std::vector<ThroughputSeries::Point> ThroughputSeries::series() const {
+  std::vector<Point> out;
+  out.reserve(bins_.size());
+  const double bin_seconds = bin_width_.to_seconds();
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    out.push_back({bin_width_ * static_cast<std::int64_t>(i),
+                   static_cast<double>(bins_[i]) * 8.0 / bin_seconds});
+  }
+  return out;
+}
+
+}  // namespace opera::sim

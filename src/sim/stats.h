@@ -1,0 +1,98 @@
+// Measurement helpers used by the experiment harnesses: percentile
+// samplers, running moments, log-spaced histograms/CDFs, and binned
+// throughput time series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace opera::sim {
+
+// Collects samples and answers percentile queries (exact, by sorting).
+class PercentileSampler {
+ public:
+  void add(double v) { samples_.push_back(v); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  // p in [0, 100]. Nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Welford running mean / variance (no sample storage).
+class RunningStat {
+ public:
+  void add(double v);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Histogram over log-spaced buckets; produces CDF points such as the
+// flow-size and path-length CDFs in the paper's figures.
+class LogHistogram {
+ public:
+  // Buckets span [lo, hi] with `buckets_per_decade` log-spaced bins.
+  LogHistogram(double lo, double hi, int buckets_per_decade = 10);
+
+  void add(double v, double weight = 1.0);
+
+  struct CdfPoint {
+    double value;       // upper edge of the bucket
+    double cumulative;  // fraction of total weight at or below `value`
+  };
+  [[nodiscard]] std::vector<CdfPoint> cdf() const;
+  [[nodiscard]] double total_weight() const { return total_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double v) const;
+  double lo_;
+  double log_lo_;
+  double log_step_;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+};
+
+// Accumulates delivered bytes into fixed-width time bins; reports a
+// throughput-vs-time series (Figure 8 style).
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(Time bin_width) : bin_width_(bin_width) {}
+
+  void record(Time at, std::int64_t bytes);
+
+  struct Point {
+    Time bin_start;
+    double bits_per_second;
+  };
+  [[nodiscard]] std::vector<Point> series() const;
+  [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  Time bin_width_;
+  std::vector<std::int64_t> bins_;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace opera::sim

@@ -1,0 +1,25 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace opera::sim {
+
+std::string Time::to_string() const {
+  char buf[64];
+  const double abs_ps = std::abs(static_cast<double>(ps_));
+  if (abs_ps >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds());
+  } else if (abs_ps >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_ms());
+  } else if (abs_ps >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", to_us());
+  } else if (abs_ps >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fns", to_ns());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldps", static_cast<long long>(ps_));
+  }
+  return buf;
+}
+
+}  // namespace opera::sim

@@ -1,0 +1,70 @@
+// Simulation time: a strong integer type with picosecond resolution.
+//
+// All of Opera's interesting time constants span nine orders of magnitude
+// (sub-ns propagation steps up to multi-ms circuit cycles), so we use a
+// 64-bit integer picosecond counter: it is exact, cheap to compare, and
+// overflows only after ~106 days of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace opera::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // Named constructors. Fractional inputs are supported for convenience
+  // (e.g. Time::us(1.2)); the result is truncated toward zero picoseconds.
+  [[nodiscard]] static constexpr Time ps(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v * 1'000}; }
+  [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  [[nodiscard]] static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000'000}; }
+  [[nodiscard]] static constexpr Time from_seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e12)};
+  }
+  [[nodiscard]] static constexpr Time from_us(double us) {
+    return Time{static_cast<std::int64_t>(us * 1e6)};
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time infinity() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t picoseconds() const { return ps_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ps_) * 1e-12; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double to_ns() const { return static_cast<double>(ps_) * 1e-3; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ps_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ps_ * k}; }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ps_ / k}; }
+  friend constexpr std::int64_t operator/(Time a, Time b) { return a.ps_ / b.ps_; }
+  friend constexpr Time operator%(Time a, Time b) { return Time{a.ps_ % b.ps_}; }
+  constexpr Time& operator+=(Time b) { ps_ += b.ps_; return *this; }
+  constexpr Time& operator-=(Time b) { ps_ -= b.ps_; return *this; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  // Serialization delay of `bytes` at `bits_per_second`, rounded to the
+  // nearest picosecond.
+  [[nodiscard]] static constexpr Time transmission(std::int64_t bytes, double bits_per_second) {
+    const double ps = static_cast<double>(bytes) * 8.0 / bits_per_second * 1e12;
+    return Time{static_cast<std::int64_t>(ps + 0.5)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+}  // namespace opera::sim

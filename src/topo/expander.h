@@ -1,0 +1,42 @@
+// Static expander baseline (paper §2.3): each ToR's u uplinks are wired
+// directly to other ToRs, forming a random u-regular graph (Jellyfish-
+// style). Routing is ECMP over shortest paths.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "topo/graph.h"
+#include "topo/random_regular.h"
+
+namespace opera::topo {
+
+struct ExpanderParams {
+  Vertex num_tors = 130;   // e.g. 650 hosts at d=5 for the u=7 baseline
+  int uplinks = 7;         // u > k/2: expanders over-provision upward ports
+  int hosts_per_tor = 5;   // d = k - u
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] Vertex num_hosts() const {
+    return num_tors * static_cast<Vertex>(hosts_per_tor);
+  }
+};
+
+class ExpanderTopology {
+ public:
+  explicit ExpanderTopology(const ExpanderParams& params)
+      : params_(params), graph_([&] {
+          sim::Rng rng(params.seed);
+          return random_regular_graph(params.num_tors, params.uplinks, rng);
+        }()) {}
+
+  [[nodiscard]] const ExpanderParams& params() const { return params_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] EcmpTable routes() const { return all_pairs_ecmp_next_hops(graph_); }
+
+ private:
+  ExpanderParams params_;
+  Graph graph_;
+};
+
+}  // namespace opera::topo

@@ -1,0 +1,266 @@
+#include "topo/failures.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+namespace opera::topo {
+namespace {
+
+// BFS distances from src, treating dead vertices as removed.
+std::vector<Vertex> masked_bfs(const Graph& g, Vertex src, const std::vector<bool>* alive) {
+  std::vector<Vertex> dist(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+  if (alive != nullptr && !(*alive)[static_cast<std::size_t>(src)]) return dist;
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::deque<Vertex> frontier{src};
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop_front();
+    for (const Vertex w : g.neighbors(v)) {
+      if (alive != nullptr && !(*alive)[static_cast<std::size_t>(w)]) continue;
+      if (dist[static_cast<std::size_t>(w)] == kNoVertex) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t count_of(double fraction, std::size_t total) {
+  return static_cast<std::size_t>(std::llround(fraction * static_cast<double>(total)));
+}
+
+std::vector<std::pair<Vertex, Vertex>> edge_list(const Graph& g) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return edges;
+}
+
+Graph remove_edges(const Graph& g, const std::vector<std::pair<Vertex, Vertex>>& edges,
+                   const std::vector<std::size_t>& failed) {
+  std::vector<bool> is_failed(edges.size(), false);
+  for (const std::size_t i : failed) is_failed[i] = true;
+  Graph out(g.num_vertices());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!is_failed[i]) out.add_edge(edges[i].first, edges[i].second);
+  }
+  return out;
+}
+
+// Connectivity loss + path stats among a subset of (alive) vertices.
+struct SubsetStats {
+  std::size_t alive = 0;
+  std::size_t disconnected_pairs = 0;
+  double hop_sum = 0.0;
+  std::size_t connected_pairs = 0;
+  Vertex worst = 0;
+  // Marks src*n+dst for each disconnected ordered pair (for any-slice
+  // accumulation); only filled when `mark` is non-null.
+  void accumulate(const Graph& g, const std::vector<Vertex>& subset,
+                  const std::vector<bool>* alive_mask, std::vector<bool>* mark);
+  [[nodiscard]] double loss() const {
+    const std::size_t pairs = alive * (alive - 1);
+    return pairs == 0 ? 0.0 : static_cast<double>(disconnected_pairs) / static_cast<double>(pairs);
+  }
+};
+
+void SubsetStats::accumulate(const Graph& g, const std::vector<Vertex>& subset,
+                             const std::vector<bool>* alive_mask, std::vector<bool>* mark) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<Vertex> alive_subset;
+  for (const Vertex v : subset) {
+    if (alive_mask == nullptr || (*alive_mask)[static_cast<std::size_t>(v)]) {
+      alive_subset.push_back(v);
+    }
+  }
+  alive = alive_subset.size();
+  for (const Vertex src : alive_subset) {
+    const auto dist = masked_bfs(g, src, alive_mask);
+    for (const Vertex dst : alive_subset) {
+      if (src == dst) continue;
+      const Vertex d = dist[static_cast<std::size_t>(dst)];
+      if (d == kNoVertex) {
+        ++disconnected_pairs;
+        if (mark != nullptr) {
+          (*mark)[static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst)] = true;
+        }
+      } else {
+        ++connected_pairs;
+        hop_sum += d;
+        worst = std::max(worst, d);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PathStats subset_path_stats(const Graph& g, const std::vector<Vertex>& subset,
+                            const std::vector<bool>* alive) {
+  PathStats stats;
+  double hop_sum = 0.0;
+  for (const Vertex src : subset) {
+    if (alive != nullptr && !(*alive)[static_cast<std::size_t>(src)]) continue;
+    const auto dist = masked_bfs(g, src, alive);
+    for (const Vertex dst : subset) {
+      if (src == dst) continue;
+      if (alive != nullptr && !(*alive)[static_cast<std::size_t>(dst)]) continue;
+      const Vertex d = dist[static_cast<std::size_t>(dst)];
+      if (d == kNoVertex) {
+        ++stats.disconnected_pairs;
+        continue;
+      }
+      ++stats.connected_pairs;
+      hop_sum += d;
+      stats.worst = std::max(stats.worst, d);
+      if (static_cast<std::size_t>(d) >= stats.hop_histogram.size()) {
+        stats.hop_histogram.resize(static_cast<std::size_t>(d) + 1, 0);
+      }
+      ++stats.hop_histogram[static_cast<std::size_t>(d)];
+    }
+  }
+  if (stats.connected_pairs > 0) {
+    stats.average = hop_sum / static_cast<double>(stats.connected_pairs);
+  }
+  return stats;
+}
+
+FailureReport analyze_opera_failures(const OperaTopology& topo, FailureKind kind,
+                                     double fraction, sim::Rng& rng) {
+  const Vertex n = topo.num_racks();
+  const int u = topo.num_switches();
+  auto failures = FailureSet::none(n, u);
+
+  switch (kind) {
+    case FailureKind::kLink: {
+      const auto total = static_cast<std::size_t>(n) * static_cast<std::size_t>(u);
+      for (const std::size_t i : rng.sample_without_replacement(total, count_of(fraction, total))) {
+        failures.uplink_failed[i / static_cast<std::size_t>(u)][i % static_cast<std::size_t>(u)] = true;
+      }
+      break;
+    }
+    case FailureKind::kTor: {
+      const auto total = static_cast<std::size_t>(n);
+      for (const std::size_t i : rng.sample_without_replacement(total, count_of(fraction, total))) {
+        failures.rack_failed[i] = true;
+      }
+      break;
+    }
+    case FailureKind::kCircuitSwitch: {
+      const auto total = static_cast<std::size_t>(u);
+      for (const std::size_t i : rng.sample_without_replacement(total, count_of(fraction, total))) {
+        failures.switch_failed[i] = true;
+      }
+      break;
+    }
+  }
+
+  std::vector<Vertex> subset;
+  for (Vertex v = 0; v < n; ++v) {
+    if (!failures.rack_failed[static_cast<std::size_t>(v)]) subset.push_back(v);
+  }
+  const std::size_t alive = subset.size();
+  const std::size_t pair_count = alive > 1 ? alive * (alive - 1) : 0;
+
+  FailureReport report;
+  std::vector<bool> ever_disconnected(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                                      false);
+  double worst_loss = 0.0;
+  double hop_sum = 0.0;
+  std::size_t connected_total = 0;
+  for (int s = 0; s < topo.num_slices(); ++s) {
+    const Graph g = topo.slice_graph(s, &failures);
+    SubsetStats stats;
+    std::vector<bool> mark(ever_disconnected.size(), false);
+    stats.accumulate(g, subset, nullptr, &mark);
+    worst_loss = std::max(worst_loss, stats.loss());
+    hop_sum += stats.hop_sum;
+    connected_total += stats.connected_pairs;
+    report.worst_path_length = std::max(report.worst_path_length, stats.worst);
+    for (std::size_t i = 0; i < mark.size(); ++i) {
+      if (mark[i]) ever_disconnected[i] = true;
+    }
+  }
+  report.worst_slice_connectivity_loss = worst_loss;
+  std::size_t ever = 0;
+  for (const bool b : ever_disconnected) {
+    if (b) ++ever;
+  }
+  report.any_slice_connectivity_loss =
+      pair_count == 0 ? 0.0 : static_cast<double>(ever) / static_cast<double>(pair_count);
+  report.avg_path_length =
+      connected_total == 0 ? 0.0 : hop_sum / static_cast<double>(connected_total);
+  return report;
+}
+
+namespace {
+
+FailureReport analyze_static_failures(const Graph& base, const std::vector<Vertex>& tors,
+                                      FailureKind kind, double fraction,
+                                      const std::vector<Vertex>& switch_vertices,
+                                      sim::Rng& rng) {
+  Graph g = base;
+  std::vector<bool> alive(static_cast<std::size_t>(base.num_vertices()), true);
+  switch (kind) {
+    case FailureKind::kLink: {
+      const auto edges = edge_list(base);
+      g = remove_edges(base, edges,
+                       rng.sample_without_replacement(edges.size(),
+                                                      count_of(fraction, edges.size())));
+      break;
+    }
+    case FailureKind::kTor: {
+      for (const std::size_t i :
+           rng.sample_without_replacement(tors.size(), count_of(fraction, tors.size()))) {
+        alive[static_cast<std::size_t>(tors[i])] = false;
+      }
+      break;
+    }
+    case FailureKind::kCircuitSwitch: {
+      for (const std::size_t i : rng.sample_without_replacement(
+               switch_vertices.size(), count_of(fraction, switch_vertices.size()))) {
+        alive[static_cast<std::size_t>(switch_vertices[i])] = false;
+      }
+      break;
+    }
+  }
+  const PathStats stats = subset_path_stats(g, tors, &alive);
+  FailureReport report;
+  const std::size_t pairs = stats.connected_pairs + stats.disconnected_pairs;
+  report.worst_slice_connectivity_loss =
+      pairs == 0 ? 0.0 : static_cast<double>(stats.disconnected_pairs) / static_cast<double>(pairs);
+  report.any_slice_connectivity_loss = report.worst_slice_connectivity_loss;
+  report.avg_path_length = stats.average;
+  report.worst_path_length = stats.worst;
+  return report;
+}
+
+}  // namespace
+
+FailureReport analyze_clos_failures(const FoldedClos& clos, FailureKind kind,
+                                    double fraction, sim::Rng& rng) {
+  std::vector<Vertex> tors;
+  for (Vertex v = 0; v < clos.num_tors(); ++v) tors.push_back(v);
+  std::vector<Vertex> switches;
+  for (Vertex v = clos.num_tors(); v < clos.switch_graph().num_vertices(); ++v) {
+    switches.push_back(v);
+  }
+  return analyze_static_failures(clos.switch_graph(), tors, kind, fraction, switches, rng);
+}
+
+FailureReport analyze_expander_failures(const ExpanderTopology& exp, FailureKind kind,
+                                        double fraction, sim::Rng& rng) {
+  std::vector<Vertex> tors;
+  for (Vertex v = 0; v < exp.graph().num_vertices(); ++v) tors.push_back(v);
+  return analyze_static_failures(exp.graph(), tors, kind, fraction, /*switch_vertices=*/tors, rng);
+}
+
+}  // namespace opera::topo

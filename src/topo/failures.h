@@ -1,0 +1,59 @@
+// Failure injection and connectivity analysis (paper §5.5, Figures 11 and
+// 18-20): inject random link / ToR / rotor-switch failures, then measure
+// the fraction of disconnected ToR pairs and the stretch of the surviving
+// paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "topo/expander.h"
+#include "topo/folded_clos.h"
+#include "topo/graph.h"
+#include "topo/opera_topology.h"
+
+namespace opera::topo {
+
+struct FailureReport {
+  // Fraction of ordered alive-ToR pairs with no path, in the worst slice
+  // (static networks have a single "slice").
+  double worst_slice_connectivity_loss = 0.0;
+  // Fraction of ordered alive-ToR pairs disconnected in at least one slice.
+  double any_slice_connectivity_loss = 0.0;
+  // Path stretch over surviving pairs, worst slice.
+  double avg_path_length = 0.0;
+  Vertex worst_path_length = 0;
+};
+
+enum class FailureKind { kLink, kTor, kCircuitSwitch };
+
+// Opera: fails `fraction` of the chosen component class uniformly at
+// random, then sweeps every topology slice (paper Figure 11/18).
+[[nodiscard]] FailureReport analyze_opera_failures(const OperaTopology& topo,
+                                                   FailureKind kind,
+                                                   double fraction,
+                                                   sim::Rng& rng);
+
+// Folded Clos: link failures fail inter-switch links; ToR/switch failures
+// fail whole switches (ToRs for kTor, aggs+cores for kCircuitSwitch —
+// which the paper labels simply "switches"). Connectivity is measured
+// between surviving ToR pairs (paper Figure 19).
+[[nodiscard]] FailureReport analyze_clos_failures(const FoldedClos& clos,
+                                                  FailureKind kind,
+                                                  double fraction,
+                                                  sim::Rng& rng);
+
+// Static expander: link or ToR failures (paper Figure 20).
+[[nodiscard]] FailureReport analyze_expander_failures(const ExpanderTopology& exp,
+                                                      FailureKind kind,
+                                                      double fraction,
+                                                      sim::Rng& rng);
+
+// Path statistics restricted to a vertex subset (e.g. ToRs of a Clos),
+// with optional per-vertex alive mask applied to the whole graph.
+[[nodiscard]] PathStats subset_path_stats(const Graph& g,
+                                          const std::vector<Vertex>& subset,
+                                          const std::vector<bool>* alive = nullptr);
+
+}  // namespace opera::topo

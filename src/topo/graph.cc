@@ -1,0 +1,111 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace opera::topo {
+
+void Graph::add_edge(Vertex a, Vertex b) {
+  assert(a >= 0 && a < num_vertices() && b >= 0 && b < num_vertices());
+  if (a == b) return;
+  if (has_edge(a, b)) return;
+  adj_[static_cast<std::size_t>(a)].push_back(b);
+  adj_[static_cast<std::size_t>(b)].push_back(a);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(Vertex a, Vertex b) const {
+  const auto& nbrs = adj_[static_cast<std::size_t>(a)];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+Graph Graph::union_with(const Graph& other) const {
+  assert(num_vertices() == other.num_vertices());
+  Graph out(num_vertices());
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    for (const Vertex w : neighbors(v)) {
+      if (v < w) out.add_edge(v, w);
+    }
+    for (const Vertex w : other.neighbors(v)) {
+      if (v < w) out.add_edge(v, w);
+    }
+  }
+  return out;
+}
+
+std::vector<Vertex> bfs_distances(const Graph& g, Vertex src) {
+  std::vector<Vertex> dist(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::deque<Vertex> frontier{src};
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop_front();
+    for (const Vertex w : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(w)] == kNoVertex) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+EcmpTable all_pairs_ecmp_next_hops(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  EcmpTable next(n, std::vector<std::vector<Vertex>>(n));
+  for (Vertex dst = 0; dst < g.num_vertices(); ++dst) {
+    const auto dist_from_dst = bfs_distances(g, dst);
+    for (Vertex src = 0; src < g.num_vertices(); ++src) {
+      if (src == dst) continue;
+      const Vertex d_src = dist_from_dst[static_cast<std::size_t>(src)];
+      if (d_src == kNoVertex) continue;
+      auto& hops = next[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+      for (const Vertex nb : g.neighbors(src)) {
+        if (dist_from_dst[static_cast<std::size_t>(nb)] == d_src - 1) {
+          hops.push_back(nb);
+        }
+      }
+    }
+  }
+  return next;
+}
+
+PathStats all_pairs_path_stats(const Graph& g, const std::vector<bool>* alive) {
+  PathStats stats;
+  double hop_sum = 0.0;
+  const Vertex n = g.num_vertices();
+  for (Vertex src = 0; src < n; ++src) {
+    if (alive != nullptr && !(*alive)[static_cast<std::size_t>(src)]) continue;
+    const auto dist = bfs_distances(g, src);
+    for (Vertex dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      if (alive != nullptr && !(*alive)[static_cast<std::size_t>(dst)]) continue;
+      const Vertex d = dist[static_cast<std::size_t>(dst)];
+      if (d == kNoVertex) {
+        ++stats.disconnected_pairs;
+        continue;
+      }
+      ++stats.connected_pairs;
+      hop_sum += d;
+      if (d > stats.worst) stats.worst = d;
+      if (static_cast<std::size_t>(d) >= stats.hop_histogram.size()) {
+        stats.hop_histogram.resize(static_cast<std::size_t>(d) + 1, 0);
+      }
+      ++stats.hop_histogram[static_cast<std::size_t>(d)];
+    }
+  }
+  if (stats.connected_pairs > 0) {
+    stats.average = hop_sum / static_cast<double>(stats.connected_pairs);
+  }
+  return stats;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](Vertex d) { return d == kNoVertex; });
+}
+
+}  // namespace opera::topo

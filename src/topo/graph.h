@@ -1,0 +1,69 @@
+// Undirected simple graphs over dense vertex ids, plus the path-length and
+// connectivity analyses used throughout the paper's evaluation (Figures 4,
+// 11, 16, 17, 18-20).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace opera::topo {
+
+using Vertex = std::int32_t;
+inline constexpr Vertex kNoVertex = -1;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(Vertex n) : adj_(static_cast<std::size_t>(n)) {}
+
+  [[nodiscard]] Vertex num_vertices() const { return static_cast<Vertex>(adj_.size()); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  // Adds the undirected edge {a, b}. Self-loops are ignored (they model a
+  // rotor matching a rack to itself, which carries no traffic). Duplicate
+  // edges are ignored, keeping the graph simple.
+  void add_edge(Vertex a, Vertex b);
+
+  [[nodiscard]] bool has_edge(Vertex a, Vertex b) const;
+  [[nodiscard]] const std::vector<Vertex>& neighbors(Vertex v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] Vertex degree(Vertex v) const {
+    return static_cast<Vertex>(adj_[static_cast<std::size_t>(v)].size());
+  }
+
+  // Union of this graph and `other` (same vertex count required).
+  [[nodiscard]] Graph union_with(const Graph& other) const;
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+// BFS hop distances from `src`; unreachable vertices get -1.
+[[nodiscard]] std::vector<Vertex> bfs_distances(const Graph& g, Vertex src);
+
+// All-pairs shortest-path next-hop sets: result[src][dst] lists every
+// neighbor of `src` that lies on some shortest src->dst path (the ECMP
+// set). Cost: one BFS per destination, O(V * (V + E)).
+using EcmpTable = std::vector<std::vector<std::vector<Vertex>>>;
+[[nodiscard]] EcmpTable all_pairs_ecmp_next_hops(const Graph& g);
+
+struct PathStats {
+  double average = 0.0;           // mean hops over connected ordered pairs
+  Vertex worst = 0;               // diameter over connected pairs
+  std::size_t connected_pairs = 0;
+  std::size_t disconnected_pairs = 0;  // ordered pairs with no path
+  std::vector<std::size_t> hop_histogram;  // [h] = #ordered pairs at h hops
+};
+
+// All-pairs path statistics by repeated BFS. `alive` (optional) restricts
+// the analysis to a subset of vertices (used for failure analysis, where
+// failed ToRs are excluded from the connectivity-loss denominator).
+[[nodiscard]] PathStats all_pairs_path_stats(
+    const Graph& g, const std::vector<bool>* alive = nullptr);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace opera::topo

@@ -1,0 +1,76 @@
+// One-factorization of the complete graph (paper §3.3).
+//
+// Opera's topology starts by factoring the N x N all-ones matrix into N
+// disjoint symmetric matchings — i.e., N involutive permutations whose
+// union covers every (src, dst) pair, diagonal included. For even N this
+// is the classic circle-method 1-factorization of K_N (N-1 perfect
+// matchings) plus the identity matching (rack "connected" to itself — a
+// slot that carries no traffic). For odd N each matching leaves exactly
+// one rack unmatched.
+//
+// The paper randomizes the factorization; we apply a random vertex
+// relabeling and shuffle the matching order, seeded deterministically.
+// The paper also uses *graph lifting* to build large factorizations from
+// small ones; `lift_double()` implements the doubling construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "topo/graph.h"
+
+namespace opera::topo {
+
+// A matching is an involutive permutation: match[v] == w means v<->w is a
+// circuit in this matching; match[v] == v means v is unmatched (self-loop).
+using Matching = std::vector<Vertex>;
+
+// Returns true iff `m` is an involution on n vertices.
+[[nodiscard]] bool is_valid_matching(const Matching& m);
+
+// Returns true iff the matchings are pairwise disjoint (no rack pair
+// appears in two matchings) and their union covers all of K_N plus the
+// diagonal.
+[[nodiscard]] bool is_complete_factorization(const std::vector<Matching>& ms);
+
+// Deterministic circle-method factorization: exactly N matchings for any
+// N >= 1. For even N: the identity matching plus N-1 perfect matchings.
+// For odd N: N matchings, each leaving one vertex self-matched.
+[[nodiscard]] std::vector<Matching> circle_factorization(Vertex n);
+
+// Uniformly-mixed random factorization (the paper's "randomly factor").
+// Starts from the circle factorization, then mixes with alternating-cycle
+// color swaps: pick two perfect matchings, find an alternating cycle in
+// their union, and exchange the cycle's edges between them. Each swap
+// preserves the factorization property while destroying the circle
+// method's algebraic structure (which would otherwise yield circulant-like
+// slice unions with poor expansion). Finishes with a random vertex
+// relabeling and a shuffle of the matching order.
+[[nodiscard]] std::vector<Matching> random_factorization(Vertex n, sim::Rng& rng);
+
+// One alternating-cycle swap between perfect matchings `a` and `b` through
+// vertex `start` (exposed for testing). Both matchings must be perfect on
+// the cycle through `start`.
+void alternating_cycle_swap(Matching& a, Matching& b, Vertex start);
+
+// Draws one random perfect matching on n (even) vertices that avoids the
+// edges marked in `used` (row-major n*n bitmap), via randomized greedy
+// matching with steal-repair. Returns an empty vector on failure. This is
+// the workhorse behind random_factorization and random_regular_graph.
+[[nodiscard]] Matching random_disjoint_matching(Vertex n, const std::vector<bool>& used,
+                                                sim::Rng& rng);
+
+// Graph lifting: build a factorization of the all-ones 2N x 2N matrix from
+// one of the N x N matrix. Within-copy pairs reuse the small factorization
+// on both copies simultaneously; cross-copy pairs are covered by the N
+// cyclic-shift matchings of K_{N,N}. Requires even N so the small perfect
+// matchings stay perfect in the lift.
+[[nodiscard]] std::vector<Matching> lift_double(const std::vector<Matching>& base);
+
+// The (simple) graph formed by a union of matchings: edge v<->m[v] for
+// every matched pair. Self-loops contribute nothing.
+[[nodiscard]] Graph union_graph(const std::vector<Matching>& ms,
+                                const std::vector<std::size_t>& which);
+
+}  // namespace opera::topo

@@ -1,0 +1,84 @@
+#include "topo/random_regular.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "topo/one_factorization.h"
+
+namespace opera::topo {
+
+Graph random_regular_graph(Vertex n, Vertex u, sim::Rng& rng) {
+  assert(u >= 1 && u < n);
+  assert((static_cast<long long>(n) * u) % 2 == 0 &&
+         "n*u must be even for a u-regular graph to exist");
+  // Build the graph as a union of u random pairwise-disjoint matchings —
+  // the construction the paper cites for expanders ("the union of u random
+  // matchings ... results in an expander graph with high probability").
+  // Each matching comes from the greedy steal-repair sampler, which keeps
+  // the acceptance rate near 1 even for dense graphs (large u).
+  //
+  // With odd n a single matching leaves one vertex out, so exact
+  // u-regularity requires even n; for odd n the graph is u-regular except
+  // for u vertices of degree u-1, matching what a rotor-style construction
+  // yields physically.
+  constexpr int kMaxRestarts = 100;
+  constexpr int kMaxMatchingRetries = 60;
+  const auto sz = static_cast<std::size_t>(n);
+  const bool odd = n % 2 == 1;
+
+  for (int restart = 0; restart < kMaxRestarts; ++restart) {
+    Graph g(n);
+    std::vector<bool> used(sz * sz, false);
+    for (std::size_t v = 0; v < sz; ++v) used[v * sz + v] = true;
+    bool ok = true;
+    for (Vertex layer = 0; layer < u && ok; ++layer) {
+      ok = false;
+      for (int retry = 0; retry < kMaxMatchingRetries; ++retry) {
+        Matching m;
+        if (odd) {
+          // Leave a random vertex out: sample a perfect matching on the
+          // other n-1 (even) vertices via an index compaction, then map
+          // back with the skipped vertex self-matched.
+          const auto skip = static_cast<Vertex>(rng.index(sz));
+          const auto small_n = n - 1;
+          const auto small_sz = static_cast<std::size_t>(small_n);
+          std::vector<Vertex> to_full(small_sz);
+          for (Vertex v = 0, j = 0; v < n; ++v) {
+            if (v != skip) to_full[static_cast<std::size_t>(j++)] = v;
+          }
+          std::vector<bool> small_used(small_sz * small_sz, false);
+          for (std::size_t a = 0; a < small_sz; ++a) {
+            for (std::size_t b = 0; b < small_sz; ++b) {
+              small_used[a * small_sz + b] =
+                  used[static_cast<std::size_t>(to_full[a]) * sz +
+                       static_cast<std::size_t>(to_full[b])];
+            }
+          }
+          const Matching small = random_disjoint_matching(small_n, small_used, rng);
+          if (small.empty()) continue;
+          m.assign(sz, kNoVertex);
+          m[static_cast<std::size_t>(skip)] = skip;
+          for (std::size_t a = 0; a < small_sz; ++a) {
+            m[static_cast<std::size_t>(to_full[a])] =
+                to_full[static_cast<std::size_t>(small[a])];
+          }
+        } else {
+          m = random_disjoint_matching(n, used, rng);
+        }
+        if (m.empty()) continue;
+        for (Vertex v = 0; v < n; ++v) {
+          const Vertex w = m[static_cast<std::size_t>(v)];
+          if (v < w) g.add_edge(v, w);
+          used[static_cast<std::size_t>(v) * sz + static_cast<std::size_t>(w)] = true;
+        }
+        ok = true;
+        break;
+      }
+    }
+    if (ok && is_connected(g)) return g;
+  }
+  throw std::runtime_error("random_regular_graph: exceeded retry budget; "
+                           "parameters too tight (u close to n?)");
+}
+
+}  // namespace opera::topo

@@ -1,0 +1,17 @@
+// Random u-regular graphs: the static-expander baseline (Jellyfish-style
+// random interconnect of ToR uplinks, paper §2.3 and §5).
+#pragma once
+
+#include "sim/rng.h"
+#include "topo/graph.h"
+
+namespace opera::topo {
+
+// Generates a connected simple u-regular graph on n vertices using the
+// configuration (pairing) model with restarts: pair up n*u port stubs at
+// random, reject self-loops/multi-edges/disconnected outcomes and retry.
+// Requires n*u even and u < n. With u >= 3 the result is an expander with
+// high probability, so only a handful of restarts are ever needed.
+[[nodiscard]] Graph random_regular_graph(Vertex n, Vertex u, sim::Rng& rng);
+
+}  // namespace opera::topo

@@ -1,0 +1,49 @@
+#include "topo/rotornet.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace opera::topo {
+
+RotorNetTopology::RotorNetTopology(const RotorNetParams& params) : params_(params) {
+  const Vertex n = params_.num_racks;
+  const int rotors = num_rotor_switches();
+  if (rotors < 1) throw std::invalid_argument("RotorNetTopology: no rotor switches");
+  if (n % rotors != 0) {
+    throw std::invalid_argument(
+        "RotorNetTopology: num_racks must divide evenly among rotor switches");
+  }
+  sim::Rng rng(params_.seed);
+  matchings_ = random_factorization(n, rng);
+  const std::size_t per_switch = matchings_.size() / static_cast<std::size_t>(rotors);
+  const auto deal = rng.permutation(matchings_.size());
+  assignment_.assign(static_cast<std::size_t>(rotors), {});
+  for (std::size_t i = 0; i < deal.size(); ++i) {
+    assignment_[i / per_switch].push_back(deal[i]);
+  }
+}
+
+std::size_t RotorNetTopology::matching_index(int sw, int slice) const {
+  assert(sw >= 0 && sw < num_rotor_switches());
+  const auto& mine = assignment_[static_cast<std::size_t>(sw)];
+  return mine[static_cast<std::size_t>(slice) % mine.size()];
+}
+
+Vertex RotorNetTopology::circuit_peer(int sw, Vertex rack, int slice) const {
+  const auto& m = matchings_[matching_index(sw, slice)];
+  return m[static_cast<std::size_t>(rack)];
+}
+
+Graph RotorNetTopology::slice_graph(int slice) const {
+  Graph g(params_.num_racks);
+  for (int sw = 0; sw < num_rotor_switches(); ++sw) {
+    const auto& m = matchings_[matching_index(sw, slice)];
+    for (Vertex a = 0; a < g.num_vertices(); ++a) {
+      const Vertex b = m[static_cast<std::size_t>(a)];
+      if (a < b) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+}  // namespace opera::topo

@@ -1,0 +1,83 @@
+#include "topo/spectral.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace opera::topo {
+
+std::vector<double> eigenvalues(SymmetricMatrix m) {
+  const std::size_t n = m.size();
+  if (n == 0) return {};
+  if (n == 1) return {m(0, 0)};
+
+  constexpr int kMaxSweeps = 100;
+  constexpr double kTolerance = 1e-10;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    }
+    if (off < kTolerance) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // A' = G^T A G for the Givens rotation G(p, q); set() mirrors
+        // writes, so updating row entries (k, p) and (k, q) for k != p, q
+        // covers the symmetric counterparts.
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          const double akp = m(k, p);
+          const double akq = m(k, q);
+          m.set(k, p, c * akp - s * akq);
+          m.set(k, q, s * akp + c * akq);
+        }
+        m.set(p, p, app - t * apq);
+        m.set(q, q, aqq + t * apq);
+        m.set(p, q, 0.0);
+      }
+    }
+  }
+
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = m(i, i);
+  std::sort(eig.begin(), eig.end(), std::greater<>());
+  return eig;
+}
+
+SymmetricMatrix adjacency_matrix(const Graph& g) {
+  SymmetricMatrix m(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (v < w) m.set(static_cast<std::size_t>(v), static_cast<std::size_t>(w), 1.0);
+    }
+  }
+  return m;
+}
+
+SpectralInfo spectral_info(const Graph& g) {
+  const auto eig = eigenvalues(adjacency_matrix(g));
+  SpectralInfo info;
+  if (eig.empty()) return info;
+  info.lambda1 = eig.front();
+  double second = 0.0;
+  for (std::size_t i = 1; i < eig.size(); ++i) {
+    second = std::max(second, std::abs(eig[i]));
+  }
+  info.lambda2_abs = second;
+  info.gap = info.lambda1 - info.lambda2_abs;
+  info.ramanujan_bound = info.lambda1 > 1.0 ? 2.0 * std::sqrt(info.lambda1 - 1.0) : 0.0;
+  return info;
+}
+
+}  // namespace opera::topo

@@ -1,0 +1,51 @@
+// Spectral analysis of topologies (paper Appendix D, Figure 17).
+//
+// The spectral gap of a d-regular graph is d - lambda_2, where lambda_2 is
+// the second-largest eigenvalue (in absolute value) of the adjacency
+// matrix. Larger gaps mean better expansion; Ramanujan graphs achieve
+// lambda_2 <= 2*sqrt(d-1). We compute the full spectrum with a dense
+// cyclic Jacobi eigensolver — rack-count matrices (hundreds of vertices)
+// make dense O(n^3) methods perfectly adequate and dependency-free.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace opera::topo {
+
+// Dense symmetric matrix in row-major order.
+class SymmetricMatrix {
+ public:
+  explicit SymmetricMatrix(std::size_t n) : n_(n), a_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const { return a_[i * n_ + j]; }
+  void set(std::size_t i, std::size_t j, double v) {
+    a_[i * n_ + j] = v;
+    a_[j * n_ + i] = v;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;
+};
+
+// All eigenvalues of `m`, sorted descending. Cyclic Jacobi sweeps until
+// off-diagonal mass is below 1e-10 (or 100 sweeps).
+[[nodiscard]] std::vector<double> eigenvalues(SymmetricMatrix m);
+
+// Adjacency matrix of g.
+[[nodiscard]] SymmetricMatrix adjacency_matrix(const Graph& g);
+
+struct SpectralInfo {
+  double lambda1 = 0.0;      // largest eigenvalue (== d for connected d-regular)
+  double lambda2_abs = 0.0;  // second-largest absolute eigenvalue
+  double gap = 0.0;          // lambda1 - lambda2_abs
+  double ramanujan_bound = 0.0;  // 2*sqrt(lambda1 - 1)
+};
+
+// Spectral expansion summary for (approximately) regular graph g.
+[[nodiscard]] SpectralInfo spectral_info(const Graph& g);
+
+}  // namespace opera::topo

@@ -1,0 +1,45 @@
+#include "transport/flow.h"
+
+#include <cassert>
+
+namespace opera::transport {
+
+const Flow& FlowTracker::register_flow(const Flow& flow) {
+  assert(flow.size_bytes > 0);
+  const auto [it, inserted] = flows_.emplace(flow.id, flow);
+  assert(inserted && "duplicate flow id");
+  (void)inserted;
+  return it->second;
+}
+
+const Flow* FlowTracker::find(std::uint64_t id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+void FlowTracker::on_delivered(std::uint64_t id, std::int64_t bytes, sim::Time at) {
+  if (delivery_hook_) {
+    const Flow* flow = find(id);
+    if (flow != nullptr) delivery_hook_(*flow, bytes, at);
+  }
+}
+
+void FlowTracker::on_complete(std::uint64_t id, sim::Time end) {
+  const Flow* flow = find(id);
+  assert(flow != nullptr && "completion for unknown flow");
+  completions_.push_back(FlowRecord{*flow, end});
+  if (hook_) hook_(completions_.back());
+}
+
+sim::PercentileSampler FlowTracker::fct_us(std::int64_t lo_bytes,
+                                           std::int64_t hi_bytes) const {
+  sim::PercentileSampler out;
+  for (const auto& rec : completions_) {
+    if (rec.flow.size_bytes >= lo_bytes && rec.flow.size_bytes < hi_bytes) {
+      out.add(rec.fct().to_us());
+    }
+  }
+  return out;
+}
+
+}  // namespace opera::transport

@@ -1,0 +1,81 @@
+// Flow metadata and completion tracking shared by all transports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace opera::transport {
+
+struct Flow {
+  std::uint64_t id = 0;
+  std::int32_t src_host = -1;
+  std::int32_t dst_host = -1;
+  std::int32_t src_rack = -1;
+  std::int32_t dst_rack = -1;
+  std::int64_t size_bytes = 0;
+  net::TrafficClass tclass = net::TrafficClass::kLowLatency;
+  sim::Time start;
+
+  [[nodiscard]] std::uint64_t total_packets() const {
+    return static_cast<std::uint64_t>(
+        (size_bytes + net::kMaxPayloadBytes - 1) / net::kMaxPayloadBytes);
+  }
+  // Wire size of packet `seq` (header + payload; last packet may be short).
+  [[nodiscard]] std::int32_t wire_bytes(std::uint64_t seq) const {
+    const std::int64_t offset = static_cast<std::int64_t>(seq) * net::kMaxPayloadBytes;
+    const std::int64_t payload = std::min<std::int64_t>(net::kMaxPayloadBytes,
+                                                        size_bytes - offset);
+    return static_cast<std::int32_t>(payload) + net::kHeaderBytes;
+  }
+};
+
+struct FlowRecord {
+  Flow flow;
+  sim::Time end;
+  [[nodiscard]] sim::Time fct() const { return end - flow.start; }
+};
+
+// Registry of flows plus completion records; experiment harnesses query it
+// for FCT percentiles by flow-size bucket (the paper's Figures 7 and 9).
+class FlowTracker {
+ public:
+  // Called on completion (after the record is stored).
+  using CompletionHook = std::function<void(const FlowRecord&)>;
+  void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+  // Called whenever payload bytes are delivered to their final destination
+  // (drives throughput-vs-time series, Figure 8).
+  using DeliveryHook = std::function<void(const Flow&, std::int64_t bytes, sim::Time at)>;
+  void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+
+  const Flow& register_flow(const Flow& flow);
+  [[nodiscard]] const Flow* find(std::uint64_t id) const;
+
+  void on_delivered(std::uint64_t id, std::int64_t bytes, sim::Time at);
+  void on_complete(std::uint64_t id, sim::Time end);
+
+  [[nodiscard]] const std::vector<FlowRecord>& completions() const { return completions_; }
+  [[nodiscard]] std::size_t registered() const { return flows_.size(); }
+  [[nodiscard]] std::size_t completed() const { return completions_.size(); }
+
+  // FCTs (in microseconds) of completed flows with size in [lo, hi).
+  [[nodiscard]] sim::PercentileSampler fct_us(std::int64_t lo_bytes,
+                                              std::int64_t hi_bytes) const;
+
+  [[nodiscard]] std::uint64_t next_flow_id() { return next_id_++; }
+
+ private:
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::vector<FlowRecord> completions_;
+  CompletionHook hook_;
+  DeliveryHook delivery_hook_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace opera::transport

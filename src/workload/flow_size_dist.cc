@@ -1,0 +1,138 @@
+#include "workload/flow_size_dist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace opera::workload {
+namespace {
+
+// Trapezoidal integration resolution for mean/byte-CDF computations.
+constexpr int kQuantileGrid = 20'000;
+
+}  // namespace
+
+FlowSizeDistribution::FlowSizeDistribution(std::string name, std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  assert(points_.size() >= 2);
+  assert(points_.front().cdf == 0.0 && points_.back().cdf == 1.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].bytes > points_[i - 1].bytes);
+    assert(points_[i].cdf >= points_[i - 1].cdf);
+  }
+  double sum = 0.0;
+  for (int i = 0; i < kQuantileGrid; ++i) {
+    sum += quantile((static_cast<double>(i) + 0.5) / kQuantileGrid);
+  }
+  mean_bytes_ = sum / kQuantileGrid;
+}
+
+double FlowSizeDistribution::quantile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  auto it = std::lower_bound(points_.begin(), points_.end(), p,
+                             [](const Point& pt, double v) { return pt.cdf < v; });
+  if (it == points_.begin()) return points_.front().bytes;
+  if (it == points_.end()) return points_.back().bytes;
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  if (hi.cdf == lo.cdf) return hi.bytes;
+  const double t = (p - lo.cdf) / (hi.cdf - lo.cdf);
+  // Log-linear interpolation in flow size.
+  return std::exp(std::log(lo.bytes) + t * (std::log(hi.bytes) - std::log(lo.bytes)));
+}
+
+std::int64_t FlowSizeDistribution::sample(sim::Rng& rng) const {
+  const double b = quantile(rng.uniform());
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(b));
+}
+
+std::vector<FlowSizeDistribution::Point> FlowSizeDistribution::byte_cdf() const {
+  // Bytes carried below size s: integral of quantile over p where
+  // quantile(p) <= s, normalized by the mean. Evaluate on the grid.
+  std::vector<Point> out;
+  double acc = 0.0;
+  std::size_t next_output = 0;
+  for (int i = 0; i < kQuantileGrid; ++i) {
+    const double q = quantile((static_cast<double>(i) + 0.5) / kQuantileGrid);
+    acc += q / kQuantileGrid;
+    // Emit a point whenever we cross one of the distribution's knots.
+    while (next_output < points_.size() && q >= points_[next_output].bytes) {
+      out.push_back({points_[next_output].bytes, acc / mean_bytes_});
+      ++next_output;
+    }
+  }
+  while (next_output < points_.size()) {
+    out.push_back({points_[next_output].bytes, 1.0});
+    ++next_output;
+  }
+  if (!out.empty()) out.back().cdf = 1.0;
+  return out;
+}
+
+double FlowSizeDistribution::byte_fraction_at_or_above(double threshold_bytes) const {
+  double below = 0.0;
+  double total = 0.0;
+  for (int i = 0; i < kQuantileGrid; ++i) {
+    const double q = quantile((static_cast<double>(i) + 0.5) / kQuantileGrid);
+    total += q;
+    if (q < threshold_bytes) below += q;
+  }
+  return total > 0.0 ? 1.0 - below / total : 0.0;
+}
+
+FlowSizeDistribution FlowSizeDistribution::datamining() {
+  // VL2 [21]: extremely skewed; 80% of flows under ~10 KB while most bytes
+  // live in 100 MB..1 GB flows (paper Fig. 1).
+  return FlowSizeDistribution(
+      "datamining", {{100, 0.0},
+                     {180, 0.10},
+                     {250, 0.20},
+                     {560, 0.30},
+                     {900, 0.40},
+                     {1'100, 0.50},
+                     {1'870, 0.60},
+                     {3'160, 0.70},
+                     {10'000, 0.80},
+                     {400'000, 0.90},
+                     {3'160'000, 0.95},
+                     {100'000'000, 0.98},
+                     {1'000'000'000, 1.0}});
+}
+
+FlowSizeDistribution FlowSizeDistribution::websearch() {
+  // DCTCP [4]: 10 KB .. 30 MB; every flow is below Opera's 15 MB bulk
+  // threshold except the extreme tail, making it the paper's all-indirect
+  // worst case (§5.3).
+  return FlowSizeDistribution("websearch", {{10'000, 0.0},
+                                            {13'000, 0.10},
+                                            {19'000, 0.20},
+                                            {28'000, 0.30},
+                                            {40'000, 0.40},
+                                            {60'000, 0.53},
+                                            {133'000, 0.60},
+                                            {300'000, 0.70},
+                                            {1'000'000, 0.80},
+                                            {2'000'000, 0.90},
+                                            {5'000'000, 0.97},
+                                            {10'000'000, 0.998},
+                                            {30'000'000, 1.0}});
+}
+
+FlowSizeDistribution FlowSizeDistribution::hadoop() {
+  // Facebook [39]: mostly small flows; median inter-rack flow around
+  // 100 KB (the paper's shuffle experiment uses that median, §5.2).
+  return FlowSizeDistribution("hadoop", {{100, 0.0},
+                                         {250, 0.10},
+                                         {400, 0.20},
+                                         {700, 0.30},
+                                         {1'500, 0.40},
+                                         {5'000, 0.50},
+                                         {30'000, 0.60},
+                                         {100'000, 0.70},
+                                         {300'000, 0.80},
+                                         {1'000'000, 0.90},
+                                         {10'000'000, 0.97},
+                                         {100'000'000, 1.0}});
+}
+
+}  // namespace opera::workload

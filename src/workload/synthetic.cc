@@ -1,0 +1,120 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace opera::workload {
+
+std::vector<FlowSpec> poisson_workload(const FlowSizeDistribution& dist,
+                                       std::int32_t num_hosts, double load,
+                                       double link_rate_bps, sim::Time duration,
+                                       sim::Rng& rng) {
+  assert(load > 0.0 && num_hosts >= 2);
+  const double aggregate_bps = link_rate_bps * num_hosts;
+  const double lambda =
+      load * aggregate_bps / (8.0 * dist.mean_bytes());  // flows per second
+  std::vector<FlowSpec> out;
+  double t_seconds = 0.0;
+  while (true) {
+    t_seconds += rng.exponential(1.0 / lambda);
+    const sim::Time start = sim::Time::from_seconds(t_seconds);
+    if (start >= duration) break;
+    FlowSpec f;
+    f.src_host = static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(num_hosts)));
+    f.dst_host = static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(num_hosts)));
+    while (f.dst_host == f.src_host) {
+      f.dst_host = static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(num_hosts)));
+    }
+    f.size_bytes = dist.sample(rng);
+    f.start = start;
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<FlowSpec> shuffle_workload(std::int32_t num_hosts,
+                                       std::int32_t hosts_per_rack,
+                                       std::int64_t flow_bytes, sim::Time stagger,
+                                       sim::Rng& rng) {
+  std::vector<FlowSpec> out;
+  for (std::int32_t s = 0; s < num_hosts; ++s) {
+    for (std::int32_t t = 0; t < num_hosts; ++t) {
+      if (s == t) continue;
+      if (s / hosts_per_rack == t / hosts_per_rack) continue;  // rack-local excluded
+      FlowSpec f;
+      f.src_host = s;
+      f.dst_host = t;
+      f.size_bytes = flow_bytes;
+      f.start = stagger == sim::Time::zero()
+                    ? sim::Time::zero()
+                    : sim::Time::ps(static_cast<std::int64_t>(
+                          rng.uniform() * static_cast<double>(stagger.picoseconds())));
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::vector<FlowSpec> permutation_workload(std::int32_t num_hosts,
+                                           std::int32_t hosts_per_rack,
+                                           std::int64_t flow_bytes, sim::Rng& rng) {
+  // Draw permutations until none maps a host into its own rack (quick for
+  // any realistic rack count), then pair host i with perm[i].
+  const auto n = static_cast<std::size_t>(num_hosts);
+  std::vector<std::size_t> perm;
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    perm = rng.permutation(n);
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      ok = static_cast<std::int32_t>(i) / hosts_per_rack !=
+           static_cast<std::int32_t>(perm[i]) / hosts_per_rack;
+    }
+    if (ok) break;
+    perm.clear();
+  }
+  assert(!perm.empty() && "could not find rack-disjoint permutation");
+  std::vector<FlowSpec> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(FlowSpec{static_cast<std::int32_t>(i),
+                           static_cast<std::int32_t>(perm[i]), flow_bytes,
+                           sim::Time::zero()});
+  }
+  return out;
+}
+
+std::vector<FlowSpec> hotrack_workload(std::int32_t hosts_per_rack,
+                                       std::int64_t flow_bytes) {
+  std::vector<FlowSpec> out;
+  for (std::int32_t i = 0; i < hosts_per_rack; ++i) {
+    out.push_back(FlowSpec{i, hosts_per_rack + i, flow_bytes, sim::Time::zero()});
+  }
+  return out;
+}
+
+std::vector<FlowSpec> skew_workload(std::int32_t num_racks, std::int32_t hosts_per_rack,
+                                    double active_fraction, std::int64_t flow_bytes,
+                                    sim::Rng& rng) {
+  const auto active =
+      std::max<std::size_t>(2, static_cast<std::size_t>(std::llround(
+                                   active_fraction * num_racks)));
+  const auto racks = rng.sample_without_replacement(
+      static_cast<std::size_t>(num_racks), active);
+  std::vector<FlowSpec> out;
+  for (const std::size_t ra : racks) {
+    for (const std::size_t rb : racks) {
+      if (ra == rb) continue;
+      for (std::int32_t i = 0; i < hosts_per_rack; ++i) {
+        FlowSpec f;
+        f.src_host = static_cast<std::int32_t>(ra) * hosts_per_rack + i;
+        f.dst_host = static_cast<std::int32_t>(rb) * hosts_per_rack + i;
+        f.size_bytes = flow_bytes;
+        f.start = sim::Time::zero();
+        out.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace opera::workload

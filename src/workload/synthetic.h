@@ -1,0 +1,57 @@
+// Synthetic workload generators for the paper's experiments:
+//   * Poisson arrivals with an empirical flow-size distribution (Figs 7, 9)
+//   * all-to-all shuffle at a fixed flow size (Fig. 8, §5.2)
+//   * host permutation, hot-rack, skew[p,1] (Fig. 12/15, §5.6)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/flow_size_dist.h"
+
+namespace opera::workload {
+
+struct FlowSpec {
+  std::int32_t src_host = -1;
+  std::int32_t dst_host = -1;
+  std::int64_t size_bytes = 0;
+  sim::Time start;
+};
+
+// Poisson open-loop arrivals. `load` is the fraction of aggregate host
+// link bandwidth (paper: "100% load means all hosts are driving their edge
+// links at full capacity"); the flow arrival rate is
+//   lambda = load * num_hosts * link_rate / (8 * mean_flow_size).
+// Sources and destinations are uniform over distinct hosts.
+[[nodiscard]] std::vector<FlowSpec> poisson_workload(
+    const FlowSizeDistribution& dist, std::int32_t num_hosts, double load,
+    double link_rate_bps, sim::Time duration, sim::Rng& rng);
+
+// All-to-all shuffle: every host sends `flow_bytes` to every other host
+// outside its own rack (the paper's MapReduce-style 100 KB shuffle).
+// Starts are staggered uniformly over `stagger` (0 = simultaneous).
+[[nodiscard]] std::vector<FlowSpec> shuffle_workload(
+    std::int32_t num_hosts, std::int32_t hosts_per_rack, std::int64_t flow_bytes,
+    sim::Time stagger, sim::Rng& rng);
+
+// Host-level permutation: each host sends one flow to a distinct,
+// non-rack-local host (a random derangement at rack granularity).
+[[nodiscard]] std::vector<FlowSpec> permutation_workload(
+    std::int32_t num_hosts, std::int32_t hosts_per_rack, std::int64_t flow_bytes,
+    sim::Rng& rng);
+
+// Hot rack: every host in rack 0 sends to its counterpart in rack 1.
+[[nodiscard]] std::vector<FlowSpec> hotrack_workload(std::int32_t hosts_per_rack,
+                                                     std::int64_t flow_bytes);
+
+// skew[p, 1] (after Kassing et al. [29]): a fraction p of racks are active
+// and exchange all-to-all traffic at full load; the rest are idle.
+[[nodiscard]] std::vector<FlowSpec> skew_workload(std::int32_t num_racks,
+                                                  std::int32_t hosts_per_rack,
+                                                  double active_fraction,
+                                                  std::int64_t flow_bytes,
+                                                  sim::Rng& rng);
+
+}  // namespace opera::workload

@@ -1,0 +1,97 @@
+// Tests for the analytic models: cost normalization (Appendix A, Table 2),
+// cycle-time scaling (Appendix B, Figure 14), and routing state (Table 1).
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/cycle.h"
+#include "core/routing_state.h"
+
+namespace opera::core {
+namespace {
+
+TEST(CostModel, Table2Values) {
+  PortCostBreakdown costs;
+  EXPECT_DOUBLE_EQ(costs.static_port(), 215.0);
+  EXPECT_DOUBLE_EQ(costs.opera_port(), 275.0);
+  EXPECT_NEAR(costs.alpha(), 1.28, 0.03);  // paper rounds to 1.3
+}
+
+TEST(CostModel, ClosOversubscriptionFromAlpha) {
+  // alpha ~ 1.33 -> F = 3 (the paper's 3:1 cost-equivalent Clos).
+  EXPECT_NEAR(CostModel::clos_oversubscription(4.0 / 3.0), 3.0, 1e-9);
+  EXPECT_NEAR(CostModel::clos_oversubscription(1.0), 4.0, 1e-9);
+  EXPECT_NEAR(CostModel::clos_oversubscription(2.0), 2.0, 1e-9);
+}
+
+TEST(CostModel, ExpanderUplinksFromAlpha) {
+  // alpha = u/(k-u): the paper's u=7, k=12 expander has alpha = 1.4.
+  EXPECT_EQ(CostModel::expander_uplinks(1.4, 12), 7);
+  EXPECT_EQ(CostModel::expander_uplinks(1.0, 12), 6);
+  EXPECT_EQ(CostModel::expander_uplinks(3.0, 12), 9);
+}
+
+TEST(CostModel, HostCounts) {
+  // 648-host k=12 3:1 Clos (paper §4).
+  EXPECT_EQ(CostModel::clos_hosts(12, 3.0), 648);
+  // k=24 -> 5184 hosts (paper §5.6).
+  EXPECT_EQ(CostModel::clos_hosts(24, 3.0), 5184);
+  EXPECT_EQ(CostModel::opera_racks(12), 108);
+  EXPECT_EQ(CostModel::opera_racks(24), 432);
+}
+
+TEST(CycleModel, PaperScaleCycleTime) {
+  CycleModel m;
+  // 108 slices x 99 us = 10.7 ms (paper §4.1).
+  EXPECT_NEAR(m.cycle_time(12).to_ms(), 10.7, 0.1);
+  // Duty cycle ~98%.
+  EXPECT_NEAR(m.duty_cycle(12), 0.98, 0.005);
+}
+
+TEST(CycleModel, QuadraticWithoutGroups) {
+  CycleModel m;
+  EXPECT_NEAR(m.relative_cycle_time(12), 1.0, 1e-9);
+  EXPECT_NEAR(m.relative_cycle_time(24), 4.0, 1e-9);
+  EXPECT_NEAR(m.relative_cycle_time(60), 25.0, 1e-9);
+}
+
+TEST(CycleModel, LinearWithGroupsOfSix) {
+  CycleModel m;
+  // Groups of 6: one switch per group reconfigures at a time, so the cycle
+  // scales as k/12 (Figure 14's lower curve).
+  EXPECT_NEAR(m.relative_cycle_time(12, 6), 1.0, 1e-9);
+  EXPECT_NEAR(m.relative_cycle_time(24, 6), 2.0, 1e-9);
+  EXPECT_NEAR(m.relative_cycle_time(60, 6), 5.0, 1e-9);
+}
+
+TEST(CycleModel, BulkThresholdMatchesPaper) {
+  CycleModel m;
+  // ~15 MB at k=12 (paper §4.1).
+  EXPECT_NEAR(static_cast<double>(m.bulk_threshold_bytes(12, 10e9)), 15e6, 1.5e6);
+  // ~90 MB at k=64 with groups of 6 (paper Appendix B).
+  EXPECT_NEAR(static_cast<double>(m.bulk_threshold_bytes(64, 10e9, 6)), 90e6, 12e6);
+}
+
+TEST(RoutingState, Table1EntriesExact) {
+  // entries = N(N-1) + N(u-1) reproduces every row of Table 1.
+  const std::int64_t expected[] = {12'096, 65'268, 276'120, 600'576, 1'032'192, 1'461'600};
+  int i = 0;
+  for (const auto& row : RoutingStateModel::kPaperRows) {
+    EXPECT_EQ(RoutingStateModel::total_entries(row.racks, row.radix / 2), expected[i])
+        << "row " << i;
+    ++i;
+  }
+}
+
+TEST(RoutingState, Table1UtilizationMatches) {
+  const double expected[] = {0.7, 3.8, 16.2, 35.3, 60.7, 85.9};
+  int i = 0;
+  for (const auto& row : RoutingStateModel::kPaperRows) {
+    const auto entries = RoutingStateModel::total_entries(row.racks, row.radix / 2);
+    EXPECT_NEAR(RoutingStateModel::utilization_percent(entries), expected[i], 0.06)
+        << "row " << i;
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace opera::core

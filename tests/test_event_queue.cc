@@ -1,0 +1,102 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace opera::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::us(3), [&] { order.push_back(3); });
+  q.schedule(Time::us(1), [&] { order.push_back(1); });
+  q.schedule(Time::us(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Time::us(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule(Time::us(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  int count = 0;
+  auto h = q.schedule(Time::us(1), [&] { ++count; });
+  q.run_next();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // after fire: no effect
+  h.cancel();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.schedule(Time::us(1), [] {});
+  q.schedule(Time::us(5), [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), Time::us(5));
+}
+
+TEST(EventQueue, EmptyAfterAllCancelled) {
+  EventQueue q;
+  auto a = q.schedule(Time::us(1), [] {});
+  auto b = q.schedule(Time::us(2), [] {});
+  a.cancel();
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), Time::infinity());
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::us(1), [&] {
+    order.push_back(1);
+    q.schedule(Time::us(2), [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(Time::us(7), [] {});
+  EXPECT_EQ(q.run_next(), Time::us(7));
+}
+
+TEST(EventQueue, Clear) {
+  EventQueue q;
+  q.schedule(Time::us(1), [] {});
+  q.schedule(Time::us(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace opera::sim

@@ -1,0 +1,120 @@
+#include "fluid/throughput.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "topo/random_regular.h"
+
+namespace opera::fluid {
+namespace {
+
+constexpr double kRate = 10e9;
+
+TEST(Demand, Workloads) {
+  const auto a2a = Demand::all_to_all(10, 6, kRate);
+  EXPECT_NEAR(a2a.row_sum(0), 6 * kRate, 1.0);
+  EXPECT_NEAR(a2a.col_sum(3), 6 * kRate, 1.0);
+
+  const auto hot = Demand::hotrack(10, 6, kRate);
+  EXPECT_NEAR(hot.total(), 6 * kRate, 1.0);
+  EXPECT_NEAR(hot(0, 1), 6 * kRate, 1.0);
+
+  const auto perm = Demand::permutation(10, 6, kRate, 3);
+  EXPECT_NEAR(perm.total(), 10 * 6 * kRate, 1.0);
+
+  const auto sk = Demand::skew(10, 6, kRate, 0.2, 3);
+  EXPECT_NEAR(sk.total(), 2 * 6 * kRate, 1.0);  // 2 active racks
+}
+
+TEST(ClosThroughput, UniformLoadMatchesOversubscription) {
+  // All-to-all at full host load: 3:1 Clos delivers 1/3.
+  const auto d = Demand::all_to_all(12, 6, kRate);
+  EXPECT_NEAR(clos_throughput(d, 6, kRate, 3.0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(clos_throughput(d, 6, kRate, 1.0), 1.0, 1e-9);
+}
+
+TEST(ClosThroughput, IndependentOfSkew) {
+  // The paper: "throughput of the folded Clos topology is independent of
+  // traffic pattern" — hotrack and permutation saturate the same uplinks.
+  const auto hot = Demand::hotrack(12, 6, kRate);
+  const auto perm = Demand::permutation(12, 6, kRate, 4);
+  EXPECT_NEAR(clos_throughput(hot, 6, kRate, 3.0), 1.0 / 3.0, 1e-9);
+  EXPECT_LE(clos_throughput(perm, 6, kRate, 3.0), 1.0 / 3.0 + 1e-9);
+}
+
+TEST(ExpanderThroughput, HotrackNearFull) {
+  // One rack pair active: an expander routes over many disjoint paths, so
+  // throughput approaches (and is capped by) the sending rack's uplinks.
+  sim::Rng rng(5);
+  const auto g = topo::random_regular_graph(32, 7, rng);
+  const auto hot = Demand::hotrack(32, 5, kRate);
+  const double theta = expander_throughput(hot, g, kRate);
+  // 5 hosts at 10G = 50G demand; 7 uplinks = 70G: theta could reach 1.4
+  // if perfectly spread, at least ~0.8 realistically.
+  EXPECT_GT(theta, 0.8);
+}
+
+TEST(ExpanderThroughput, AllToAllPaysPathTax) {
+  sim::Rng rng(6);
+  const auto g = topo::random_regular_graph(32, 7, rng);
+  const auto a2a = Demand::all_to_all(32, 5, kRate);
+  const double theta = expander_throughput(a2a, g, kRate);
+  // Average path length ~2.3: effective capacity u/(d*L) ~ 0.6.
+  EXPECT_LT(theta, 0.9);
+  EXPECT_GT(theta, 0.3);
+}
+
+TEST(RotorThroughput, AllToAllIsTaxFree) {
+  // Uniform demand rides direct circuits: theta ~ active_uplinks/d.
+  RotorModelParams p;
+  p.num_racks = 16;
+  p.uplinks = 4;
+  p.active_fraction = 3.0 / 4.0;
+  p.duty_cycle = 1.0;
+  const auto a2a = Demand::all_to_all(16, 4, kRate);
+  const double theta = rotor_throughput(a2a, p);
+  // Direct-only bound: per-pair cap (3/16 link) vs demand (4/15 link per
+  // pair) gives theta = 45/64 ~ 0.703; a little VLB on top -> ~0.73.
+  EXPECT_NEAR(theta, 0.73, 0.03);
+}
+
+TEST(RotorThroughput, HotrackUsesVlb) {
+  RotorModelParams p;
+  p.num_racks = 16;
+  p.uplinks = 4;
+  p.active_fraction = 3.0 / 4.0;
+  p.duty_cycle = 1.0;
+  const auto hot = Demand::hotrack(16, 4, kRate);
+  const double with_vlb = rotor_throughput(hot, p);
+  p.enable_vlb = false;
+  const double without = rotor_throughput(hot, p);
+  // Direct-only: one pair gets 3/16 of a link over time.
+  EXPECT_NEAR(without, 3.0 / 16.0 * 10e9 / (4 * kRate), 0.01);
+  EXPECT_GT(with_vlb, 5.0 * without);  // VLB lifts it to ~uplink bound
+  EXPECT_LE(with_vlb, 0.76);
+}
+
+TEST(RotorThroughput, VlbTaxHalvesPermutationThroughput) {
+  // Rack-pair permutation demand (each rack sends all to one rack):
+  // almost everything is VLBed at 2x cost -> theta ~ 1/2 * uplink ratio.
+  RotorModelParams p;
+  p.num_racks = 16;
+  p.uplinks = 4;
+  p.active_fraction = 3.0 / 4.0;
+  p.duty_cycle = 1.0;
+  Demand d(16);
+  for (int r = 0; r < 16; ++r) d.add(r, (r + 1) % 16, 4 * kRate);
+  const double theta = rotor_throughput(d, p);
+  EXPECT_LT(theta, 0.55);
+  EXPECT_GT(theta, 0.3);
+}
+
+TEST(RotorThroughput, ZeroDemand) {
+  RotorModelParams p;
+  p.num_racks = 8;
+  p.uplinks = 4;
+  EXPECT_DOUBLE_EQ(rotor_throughput(Demand(8), p), 0.0);
+}
+
+}  // namespace
+}  // namespace opera::fluid

@@ -1,0 +1,129 @@
+#include "topo/one_factorization.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace opera::topo {
+namespace {
+
+TEST(OneFactorization, SmallEvenComplete) {
+  for (const Vertex n : {2, 4, 6, 8}) {
+    const auto ms = circle_factorization(n);
+    EXPECT_EQ(ms.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    EXPECT_TRUE(is_complete_factorization(ms)) << "n=" << n;
+  }
+}
+
+TEST(OneFactorization, OddNComplete) {
+  for (const Vertex n : {3, 5, 7, 9, 27}) {
+    const auto ms = circle_factorization(n);
+    EXPECT_EQ(ms.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    EXPECT_TRUE(is_complete_factorization(ms)) << "n=" << n;
+  }
+}
+
+TEST(OneFactorization, PaperScale108) {
+  const auto ms = circle_factorization(108);
+  EXPECT_EQ(ms.size(), 108u);
+  EXPECT_TRUE(is_complete_factorization(ms));
+}
+
+TEST(OneFactorization, EvenMatchingsArePerfectExceptIdentity) {
+  const auto ms = circle_factorization(10);
+  int identity_count = 0;
+  for (const auto& m : ms) {
+    int self_matched = 0;
+    for (Vertex v = 0; v < 10; ++v) {
+      if (m[static_cast<std::size_t>(v)] == v) ++self_matched;
+    }
+    if (self_matched == 10) ++identity_count;
+    else EXPECT_EQ(self_matched, 0);  // perfect matching
+  }
+  EXPECT_EQ(identity_count, 1);
+}
+
+TEST(OneFactorization, OddMatchingsHaveOneSelfMatch) {
+  const auto ms = circle_factorization(9);
+  for (const auto& m : ms) {
+    int self_matched = 0;
+    for (Vertex v = 0; v < 9; ++v) {
+      if (m[static_cast<std::size_t>(v)] == v) ++self_matched;
+    }
+    EXPECT_EQ(self_matched, 1);
+  }
+}
+
+TEST(OneFactorization, RandomFactorizationIsComplete) {
+  sim::Rng rng(123);
+  for (const Vertex n : {6, 16, 54}) {
+    const auto ms = random_factorization(n, rng);
+    EXPECT_EQ(ms.size(), static_cast<std::size_t>(n));
+    EXPECT_TRUE(is_complete_factorization(ms)) << "n=" << n;
+  }
+}
+
+TEST(OneFactorization, RandomSeedsGiveDifferentFactorizations) {
+  sim::Rng rng1(1);
+  sim::Rng rng2(2);
+  const auto a = random_factorization(16, rng1);
+  const auto b = random_factorization(16, rng2);
+  EXPECT_NE(a, b);
+}
+
+TEST(OneFactorization, LiftDoubleProducesComplete) {
+  const auto base = circle_factorization(8);
+  const auto lifted = lift_double(base);
+  EXPECT_EQ(lifted.size(), 16u);
+  EXPECT_TRUE(is_complete_factorization(lifted));
+}
+
+TEST(OneFactorization, LiftTwiceReachesPaperScale) {
+  // 27 is odd; use 54 = 2*27 via direct construction, then lift to 108 —
+  // the paper's graph-lifting route to large factorizations.
+  const auto base = circle_factorization(54);
+  ASSERT_TRUE(is_complete_factorization(base));
+  const auto lifted = lift_double(base);
+  EXPECT_EQ(lifted.size(), 108u);
+  EXPECT_TRUE(is_complete_factorization(lifted));
+}
+
+TEST(OneFactorization, UnionGraphOfAllMatchingsIsComplete) {
+  const auto ms = circle_factorization(12);
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < ms.size(); ++i) all.push_back(i);
+  const Graph g = union_graph(ms, all);
+  EXPECT_EQ(g.num_edges(), 12u * 11u / 2u);
+}
+
+TEST(OneFactorization, ValidMatchingRejectsNonInvolution) {
+  Matching m{1, 2, 0};  // a 3-cycle, not an involution
+  EXPECT_FALSE(is_valid_matching(m));
+  Matching ok{1, 0, 2};
+  EXPECT_TRUE(is_valid_matching(ok));
+}
+
+TEST(OneFactorization, IncompleteFactorizationDetected) {
+  auto ms = circle_factorization(6);
+  ms.pop_back();  // drop one matching: coverage hole
+  EXPECT_FALSE(is_complete_factorization(ms));
+}
+
+// Property sweep: completeness holds across a range of sizes.
+class FactorizationSweep : public ::testing::TestWithParam<Vertex> {};
+
+TEST_P(FactorizationSweep, CompleteAndValid) {
+  const Vertex n = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(n) * 7919);
+  const auto ms = random_factorization(n, rng);
+  ASSERT_EQ(ms.size(), static_cast<std::size_t>(n));
+  for (const auto& m : ms) EXPECT_TRUE(is_valid_matching(m));
+  EXPECT_TRUE(is_complete_factorization(ms));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FactorizationSweep,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16, 21, 32, 48,
+                                           64, 81, 100, 108, 128));
+
+}  // namespace
+}  // namespace opera::topo

@@ -1,0 +1,47 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace opera::net {
+namespace {
+
+TEST(Packet, MakeControlSwapsEndpoints) {
+  Packet data;
+  data.flow_id = 7;
+  data.seq = 42;
+  data.src_host = 3;
+  data.dst_host = 9;
+  data.src_rack = 1;
+  data.dst_rack = 2;
+  data.size_bytes = 1500;
+  data.tclass = TrafficClass::kBulk;
+  data.type = PacketType::kData;
+
+  const auto nack = make_control(data, PacketType::kNack);
+  EXPECT_EQ(nack->flow_id, 7u);
+  EXPECT_EQ(nack->seq, 42u);
+  EXPECT_EQ(nack->src_host, 9);
+  EXPECT_EQ(nack->dst_host, 3);
+  EXPECT_EQ(nack->src_rack, 2);
+  EXPECT_EQ(nack->dst_rack, 1);
+  EXPECT_EQ(nack->size_bytes, kHeaderBytes);
+  EXPECT_EQ(nack->type, PacketType::kNack);
+  // Control always rides the low-latency class.
+  EXPECT_EQ(nack->tclass, TrafficClass::kLowLatency);
+}
+
+TEST(Packet, Constants) {
+  EXPECT_EQ(kMtuBytes, 1500);
+  EXPECT_EQ(kHeaderBytes, 64);
+  EXPECT_EQ(kMaxPayloadBytes, 1436);
+}
+
+TEST(Packet, DefaultsAreSane) {
+  Packet p;
+  EXPECT_FALSE(p.vlb_relay);
+  EXPECT_EQ(p.relay_rack, -1);
+  EXPECT_EQ(p.hops, 0);
+}
+
+}  // namespace
+}  // namespace opera::net

@@ -1,0 +1,91 @@
+#include "topo/random_regular.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace opera::topo {
+namespace {
+
+TEST(RandomRegular, DegreesAreExact) {
+  sim::Rng rng(1);
+  const Graph g = random_regular_graph(20, 4, rng);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_EQ(g.num_edges(), 40u);
+}
+
+TEST(RandomRegular, Connected) {
+  sim::Rng rng(2);
+  const Graph g = random_regular_graph(50, 3, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomRegular, PaperScaleExpander) {
+  // The u=7 expander baseline: 130 ToRs of 5 hosts each = 650 hosts.
+  sim::Rng rng(3);
+  const Graph g = random_regular_graph(130, 7, rng);
+  for (Vertex v = 0; v < 130; ++v) EXPECT_EQ(g.degree(v), 7);
+  EXPECT_TRUE(is_connected(g));
+  const auto stats = all_pairs_path_stats(g);
+  // 130 nodes at degree 7: diameter should be tiny (expander).
+  EXPECT_LE(stats.worst, 4);
+  EXPECT_LT(stats.average, 3.0);
+}
+
+TEST(RandomRegular, OddVertexCountNearRegular) {
+  // n odd, u even: u matchings each leave one vertex out.
+  sim::Rng rng(4);
+  const Graph g = random_regular_graph(15, 4, rng);
+  for (Vertex v = 0; v < 15; ++v) {
+    EXPECT_GE(g.degree(v), 3);
+    EXPECT_LE(g.degree(v), 4);
+  }
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomRegular, DeterministicGivenSeed) {
+  sim::Rng rng1(99);
+  sim::Rng rng2(99);
+  const Graph a = random_regular_graph(30, 4, rng1);
+  const Graph b = random_regular_graph(30, 4, rng2);
+  for (Vertex v = 0; v < 30; ++v) {
+    EXPECT_EQ(a.neighbors(v), b.neighbors(v));
+  }
+}
+
+// Property sweep: regularity and connectivity across sizes and degrees.
+struct RrParam {
+  Vertex n;
+  Vertex u;
+};
+
+class RandomRegularSweep : public ::testing::TestWithParam<RrParam> {};
+
+TEST_P(RandomRegularSweep, RegularSimpleConnected) {
+  const auto [n, u] = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(n) * 31 + static_cast<std::uint64_t>(u));
+  const Graph g = random_regular_graph(n, u, rng);
+  EXPECT_TRUE(is_connected(g));
+  std::size_t degree_sum = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_LE(g.degree(v), u);
+    degree_sum += static_cast<std::size_t>(g.degree(v));
+    // Simplicity: neighbor lists contain no duplicates.
+    auto nbrs = g.neighbors(v);
+    std::sort(nbrs.begin(), nbrs.end());
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+  if (n % 2 == 0) {
+    for (Vertex v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRegularSweep,
+    ::testing::Values(RrParam{8, 3}, RrParam{16, 3}, RrParam{16, 5},
+                      RrParam{32, 4}, RrParam{64, 6}, RrParam{100, 7},
+                      RrParam{130, 7}, RrParam{256, 8}, RrParam{108, 5}));
+
+}  // namespace
+}  // namespace opera::topo

@@ -1,0 +1,89 @@
+#include "topo/rotornet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace opera::topo {
+namespace {
+
+RotorNetParams small_params() {
+  RotorNetParams p;
+  p.num_racks = 16;
+  p.num_switches = 4;
+  p.seed = 3;
+  return p;
+}
+
+TEST(RotorNet, SliceCount) {
+  const RotorNetTopology topo(small_params());
+  // All switches rotate together: N/u slices per cycle.
+  EXPECT_EQ(topo.num_rotor_switches(), 4);
+  EXPECT_EQ(topo.num_slices(), 4);
+}
+
+TEST(RotorNet, HybridEvenSplit) {
+  RotorNetParams p;
+  p.num_racks = 15;
+  p.num_switches = 4;  // 3 rotors after hybrid donation
+  p.hybrid = true;
+  const RotorNetTopology topo(p);
+  EXPECT_EQ(topo.num_rotor_switches(), 3);
+  EXPECT_EQ(topo.num_slices(), 5);
+}
+
+TEST(RotorNet, RejectsUnevenSplit) {
+  RotorNetParams p;
+  p.num_racks = 16;
+  p.num_switches = 3;
+  EXPECT_THROW(RotorNetTopology topo(p), std::invalid_argument);
+}
+
+TEST(RotorNet, AllSwitchesAdvanceTogether) {
+  const RotorNetTopology topo(small_params());
+  for (int sw = 0; sw < 4; ++sw) {
+    const auto m0 = topo.matching_index(sw, 0);
+    const auto m1 = topo.matching_index(sw, 1);
+    EXPECT_NE(m0, m1);
+    // Wraps around after num_slices.
+    EXPECT_EQ(topo.matching_index(sw, topo.num_slices()), m0);
+  }
+}
+
+TEST(RotorNet, CycleCoversAllMatchings) {
+  const RotorNetTopology topo(small_params());
+  std::set<std::size_t> seen;
+  for (int s = 0; s < topo.num_slices(); ++s) {
+    for (int sw = 0; sw < 4; ++sw) {
+      seen.insert(topo.matching_index(sw, s));
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(RotorNet, EveryRackPairGetsDirectCircuit) {
+  const RotorNetTopology topo(small_params());
+  std::set<std::pair<Vertex, Vertex>> connected;
+  for (int s = 0; s < topo.num_slices(); ++s) {
+    for (int sw = 0; sw < 4; ++sw) {
+      for (Vertex r = 0; r < 16; ++r) {
+        const Vertex peer = topo.circuit_peer(sw, r, s);
+        if (peer != r) connected.insert({r, peer});
+      }
+    }
+  }
+  EXPECT_EQ(connected.size(), 16u * 15u);  // every ordered pair
+}
+
+TEST(RotorNet, SliceGraphIsUnionOfUMatchings) {
+  const RotorNetTopology topo(small_params());
+  for (int s = 0; s < topo.num_slices(); ++s) {
+    const Graph g = topo.slice_graph(s);
+    for (Vertex v = 0; v < 16; ++v) {
+      EXPECT_LE(g.degree(v), 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opera::topo

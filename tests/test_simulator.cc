@@ -1,0 +1,81 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace opera::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen = Time::zero();
+  sim.schedule_in(Time::us(10), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, Time::us(10));
+  EXPECT_EQ(sim.now(), Time::us(10));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(Time::us(5), [&] {
+    times.push_back(sim.now().to_us());
+    sim.schedule_in(Time::us(5), [&] { times.push_back(sim.now().to_us()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{5.0, 10.0}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_in(Time::us(i), [&] { ++fired; });
+  }
+  const auto n = sim.run_until(Time::us(4));
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.now(), Time::us(4));
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(Time::ms(5));
+  EXPECT_EQ(sim.now(), Time::ms(5));
+}
+
+TEST(Simulator, StopBreaksRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Time::us(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(Time::us(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAtClampsToNow) {
+  Simulator sim;
+  sim.schedule_in(Time::us(10), [&] {
+    // Scheduling in the past lands "now", not before.
+    sim.schedule_at(Time::us(1), [&] { EXPECT_EQ(sim.now(), Time::us(10)); });
+  });
+  sim.run();
+}
+
+TEST(Simulator, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 25; ++i) sim.schedule_in(Time::us(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 25u);
+}
+
+}  // namespace
+}  // namespace opera::sim

@@ -1,0 +1,90 @@
+#include "topo/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "topo/random_regular.h"
+
+namespace opera::topo {
+namespace {
+
+TEST(Spectral, DiagonalMatrixEigenvalues) {
+  SymmetricMatrix m(3);
+  m.set(0, 0, 3.0);
+  m.set(1, 1, 1.0);
+  m.set(2, 2, 2.0);
+  const auto eig = eigenvalues(m);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig[1], 2.0, 1e-9);
+  EXPECT_NEAR(eig[2], 1.0, 1e-9);
+}
+
+TEST(Spectral, TwoByTwoKnownEigenvalues) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  SymmetricMatrix m(2);
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 2.0);
+  m.set(0, 1, 1.0);
+  const auto eig = eigenvalues(m);
+  EXPECT_NEAR(eig[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig[1], 1.0, 1e-9);
+}
+
+TEST(Spectral, CompleteGraphSpectrum) {
+  // K_n adjacency: eigenvalues n-1 (once) and -1 (n-1 times).
+  constexpr Vertex n = 7;
+  Graph g(n);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  const auto eig = eigenvalues(adjacency_matrix(g));
+  EXPECT_NEAR(eig.front(), 6.0, 1e-8);
+  for (std::size_t i = 1; i < eig.size(); ++i) EXPECT_NEAR(eig[i], -1.0, 1e-8);
+}
+
+TEST(Spectral, CycleGraphSpectrum) {
+  // C_n eigenvalues are 2*cos(2*pi*k/n).
+  constexpr Vertex n = 6;
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  const auto eig = eigenvalues(adjacency_matrix(g));
+  EXPECT_NEAR(eig.front(), 2.0, 1e-8);
+  EXPECT_NEAR(eig.back(), -2.0, 1e-8);
+}
+
+TEST(Spectral, RegularGraphLambda1EqualsDegree) {
+  sim::Rng rng(5);
+  const Graph g = random_regular_graph(24, 4, rng);
+  const auto info = spectral_info(g);
+  EXPECT_NEAR(info.lambda1, 4.0, 1e-7);
+  EXPECT_GT(info.gap, 0.0);  // connected regular graph
+}
+
+TEST(Spectral, RandomRegularNearRamanujan) {
+  // Random regular graphs are nearly Ramanujan with high probability:
+  // lambda2 <= 2*sqrt(d-1) + o(1). Allow 10% slack.
+  sim::Rng rng(7);
+  const Graph g = random_regular_graph(64, 5, rng);
+  const auto info = spectral_info(g);
+  EXPECT_LT(info.lambda2_abs, 1.1 * info.ramanujan_bound);
+}
+
+TEST(Spectral, BipartiteHasSymmetricSpectrum) {
+  // Complete bipartite K_{3,3}: eigenvalues 3, 0 (x4), -3; gap is 0
+  // because |lambda_n| == lambda_1 (bipartite graphs are poor expanders
+  // in the two-sided sense).
+  Graph g(6);
+  for (Vertex a = 0; a < 3; ++a) {
+    for (Vertex b = 3; b < 6; ++b) g.add_edge(a, b);
+  }
+  const auto info = spectral_info(g);
+  EXPECT_NEAR(info.lambda1, 3.0, 1e-8);
+  EXPECT_NEAR(info.lambda2_abs, 3.0, 1e-8);
+  EXPECT_NEAR(info.gap, 0.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace opera::topo

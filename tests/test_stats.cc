@@ -1,0 +1,104 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace opera::sim {
+namespace {
+
+TEST(PercentileSampler, BasicPercentiles) {
+  PercentileSampler s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(PercentileSampler, SingleSample) {
+  PercentileSampler s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(PercentileSampler, AddAfterQueryResorts) {
+  PercentileSampler s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat r;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(v);
+  EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+  EXPECT_NEAR(r.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_EQ(r.count(), 8u);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat r;
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+}
+
+TEST(LogHistogram, CdfReachesOne) {
+  LogHistogram h(1e2, 1e9);
+  h.add(150.0);
+  h.add(1e6);
+  h.add(5e8);
+  const auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+TEST(LogHistogram, WeightsShiftCdf) {
+  // 90% of weight at small values, 10% at large: CDF at mid-range ~0.9.
+  LogHistogram h(1.0, 1e6);
+  h.add(10.0, 9.0);
+  h.add(1e5, 1.0);
+  const auto cdf = h.cdf();
+  double at_1000 = 0.0;
+  for (const auto& p : cdf) {
+    if (p.value <= 1000.0) at_1000 = p.cumulative;
+  }
+  EXPECT_NEAR(at_1000, 0.9, 1e-9);
+}
+
+TEST(LogHistogram, OutOfRangeClamped) {
+  LogHistogram h(10.0, 1000.0);
+  h.add(1.0);      // below lo -> first bucket
+  h.add(1e9);      // above hi -> last bucket
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(h.cdf().back().cumulative, 1.0);
+}
+
+TEST(ThroughputSeries, BinsBytes) {
+  ThroughputSeries ts(Time::ms(1));
+  ts.record(Time::us(100), 1250);   // bin 0
+  ts.record(Time::us(900), 1250);   // bin 0
+  ts.record(Time::us(1500), 2500);  // bin 1
+  const auto s = ts.series();
+  ASSERT_EQ(s.size(), 2u);
+  // 2500 B in 1 ms = 20 Mb/s.
+  EXPECT_DOUBLE_EQ(s[0].bits_per_second, 20e6);
+  EXPECT_DOUBLE_EQ(s[1].bits_per_second, 20e6);
+  EXPECT_EQ(ts.total_bytes(), 5000);
+}
+
+TEST(ThroughputSeries, EmptyBinsAreZero) {
+  ThroughputSeries ts(Time::ms(1));
+  ts.record(Time::ms(3), 1000);
+  const auto s = ts.series();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0].bits_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(s[2].bits_per_second, 0.0);
+  EXPECT_GT(s[3].bits_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace opera::sim

@@ -1,0 +1,65 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace opera::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(Time::ns(1).picoseconds(), 1'000);
+  EXPECT_EQ(Time::us(1).picoseconds(), 1'000'000);
+  EXPECT_EQ(Time::ms(1).picoseconds(), 1'000'000'000);
+  EXPECT_EQ(Time::sec(1).picoseconds(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::ms(250).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Time::us(90).to_us(), 90.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::us(10);
+  const Time b = Time::us(4);
+  EXPECT_EQ((a + b).to_us(), 14.0);
+  EXPECT_EQ((a - b).to_us(), 6.0);
+  EXPECT_EQ((a * 3).to_us(), 30.0);
+  EXPECT_EQ((a / 2).to_us(), 5.0);
+  EXPECT_EQ(a / b, 2);           // integer ratio
+  EXPECT_EQ((a % b).to_us(), 2.0);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::ns(999), Time::us(1));
+  EXPECT_EQ(Time::us(1000), Time::ms(1));
+  EXPECT_GT(Time::infinity(), Time::sec(1'000'000));
+  EXPECT_EQ(Time::zero().picoseconds(), 0);
+}
+
+TEST(Time, TransmissionDelay) {
+  // 1500 bytes at 10 Gb/s = 1.2 us.
+  EXPECT_EQ(Time::transmission(1500, 10e9).to_ns(), 1200.0);
+  // 64 bytes at 10 Gb/s = 51.2 ns.
+  EXPECT_DOUBLE_EQ(Time::transmission(64, 10e9).to_ns(), 51.2);
+  // 1500 bytes at 100 Gb/s = 120 ns.
+  EXPECT_EQ(Time::transmission(1500, 100e9).to_ns(), 120.0);
+}
+
+TEST(Time, FractionalConstructors) {
+  EXPECT_EQ(Time::from_us(1.5).picoseconds(), 1'500'000);
+  EXPECT_EQ(Time::from_seconds(0.001).picoseconds(), 1'000'000'000);
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ(Time::us(90).to_string(), "90.000us");
+  EXPECT_EQ(Time::ms(11).to_string(), "11.000ms");
+  EXPECT_EQ(Time::ns(500).to_string(), "500.000ns");
+  EXPECT_EQ(Time::ps(7).to_string(), "7ps");
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::us(1);
+  t += Time::us(2);
+  EXPECT_EQ(t, Time::us(3));
+  t -= Time::ns(500);
+  EXPECT_EQ(t.picoseconds(), 2'500'000);
+}
+
+}  // namespace
+}  // namespace opera::sim
