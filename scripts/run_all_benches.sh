@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run every paper-figure/table benchmark and save its stdout under
+# bench-results/, one .txt per target, with wall-clock per bench recorded
+# in bench-results/timings.txt. Build first:
+#   cmake --preset release && cmake --build --preset release -j
+# then:
+#   scripts/run_all_benches.sh [build-dir] [out-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench-results}"
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' not found (configure with the release preset first)" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+: > "$out_dir/timings.txt"
+failures=0
+
+shopt -s nullglob
+benches=("$build_dir"/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in '$build_dir'" >&2
+  exit 1
+fi
+
+for bin in "${benches[@]}"; do
+  [[ -x "$bin" ]] || continue
+  name="$(basename "$bin")"
+  echo "== $name"
+  start=$(date +%s%N)
+  status=ok rc=0
+  "$bin" > "$out_dir/$name.txt" 2> "$out_dir/$name.err" || rc=$?
+  if (( rc != 0 )); then
+    status="FAILED (exit $rc)"
+    failures=$((failures + 1))
+  fi
+  if [[ -s "$out_dir/$name.err" ]]; then
+    status="$status, stderr in $name.err"
+  else
+    rm -f "$out_dir/$name.err"
+  fi
+  end=$(date +%s%N)
+  awk -v n="$name" -v ns="$((end - start))" -v st="$status" \
+    'BEGIN { printf "%-40s %8.2f s  %s\n", n, ns / 1e9, st }' \
+    | tee -a "$out_dir/timings.txt"
+done
+
+if (( failures > 0 )); then
+  echo "done with $failures failed bench(es): outputs in $out_dir/" >&2
+  exit 1
+fi
+echo "done: outputs in $out_dir/"
