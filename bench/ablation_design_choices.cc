@@ -3,23 +3,24 @@
 //       circuits with impending reconfiguration) — paper §4.1
 //   (2) RotorLB's two-hop VLB fallback for skewed bulk demand — §4.2.2
 //   (3) offset vs synchronized reconfiguration (Opera vs RotorNet) — §3.1.1
-#include <cstdio>
+#include <algorithm>
 
-#include "bench_common.h"
+#include "exp/experiment.h"
 
 namespace {
+
 using namespace opera;
 
-core::OperaConfig base_config() {
-  core::OperaConfig cfg;
-  cfg.topology.num_racks = 16;
-  cfg.topology.num_switches = 4;
-  cfg.topology.hosts_per_rack = 4;
-  cfg.topology.seed = 3;
+core::FabricConfig base_config() {
+  auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+  cfg.opera.num_racks = 16;
+  cfg.opera.num_switches = 4;
+  cfg.opera.hosts_per_rack = 4;
+  cfg.opera.seed = 3;
   return cfg;
 }
 
-void low_latency_storm(core::OperaNetwork& net, int flows) {
+void low_latency_storm(core::Network& net, int flows) {
   sim::Rng rng(17);
   for (int i = 0; i < flows; ++i) {
     const auto src = static_cast<std::int32_t>(rng.index(64));
@@ -31,80 +32,79 @@ void low_latency_storm(core::OperaNetwork& net, int flows) {
 
 }  // namespace
 
-int main() {
-  bench::banner("Ablation: drain window, VLB, reconfiguration offsetting");
+int main(int argc, char** argv) {
+  exp::Experiment ex("Ablation: drain window, VLB, reconfiguration offsetting",
+                     argc, argv);
 
-  std::printf("\n(1) epsilon rule: low-latency p99 FCT vs drain window\n");
+  auto& drain = ex.report().table(
+      "drain_window", {"drain_us", "completed", "p50_us", "p99_us"});
   for (const auto window : {0, 10, 30}) {
     auto cfg = base_config();
     cfg.slice.drain_window = sim::Time::us(window);
-    core::OperaNetwork net(cfg);
-    low_latency_storm(net, 800);
-    net.run_until(sim::Time::ms(40));
-    const auto fct = net.tracker().fct_us(0, 1'000'000);
-    std::printf("  drain window %2d us: completed %4zu/800, p50 %8.1f us, "
-                "p99 %8.1f us\n",
-                window, net.tracker().completed(),
-                fct.empty() ? 0.0 : fct.percentile(50),
-                fct.empty() ? 0.0 : fct.percentile(99));
+    const auto net = core::NetworkFactory::build(cfg);
+    low_latency_storm(*net, 800);
+    net->run_until(sim::Time::ms(40));
+    const auto fct = net->tracker().fct_us(0, 1'000'000);
+    drain.row({static_cast<std::int64_t>(window),
+               static_cast<std::int64_t>(net->tracker().completed()),
+               exp::Value(fct.empty() ? 0.0 : fct.percentile(50), 1),
+               exp::Value(fct.empty() ? 0.0 : fct.percentile(99), 1)});
   }
-  std::printf("  -> without the rule, packets stranded on reconfiguring circuits\n"
-              "     are flushed and recovered only after an RTO: fat tails.\n");
+  ex.report().note(
+      "-> without the rule, packets stranded on reconfiguring circuits\n"
+      "   are flushed and recovered only after an RTO: fat tails.");
 
-  std::printf("\n(2) VLB: hot-rack bulk completion with and without two-hop\n");
+  auto& vlb_table = ex.report().table("vlb", {"vlb", "completed", "worst_fct_ms"});
   for (const bool vlb : {true, false}) {
     auto cfg = base_config();
     cfg.enable_vlb = vlb;
-    core::OperaNetwork net(cfg);
+    const auto net = core::NetworkFactory::build(cfg);
     for (int h = 0; h < 4; ++h) {
-      net.submit_flow(h, 4 + h, 30'000'000, sim::Time::zero(),
-                      net::TrafficClass::kBulk);
+      net->submit_flow(h, 4 + h, 30'000'000, sim::Time::zero(),
+                       net::TrafficClass::kBulk);
     }
-    net.run_until(sim::Time::ms(300));
+    net->run_until(sim::Time::ms(300));
     double worst = 0.0;
-    for (const auto& rec : net.tracker().completions()) {
+    for (const auto& rec : net->tracker().completions()) {
       worst = std::max(worst, rec.fct().to_ms());
     }
-    std::printf("  VLB %-3s: completed %zu/4, worst FCT %.1f ms\n",
-                vlb ? "on" : "off", net.tracker().completed(),
-                net.tracker().completed() > 0 ? worst : -1.0);
+    vlb_table.row({vlb ? "on" : "off",
+                   static_cast<std::int64_t>(net->tracker().completed()),
+                   exp::Value(net->tracker().completed() > 0 ? worst : -1.0, 1)});
   }
-  std::printf("  -> direct circuits alone give a hot rack pair only (u-1)/N of a\n"
-              "     link; VLB recruits the idle capacity of every other rack.\n");
+  ex.report().note(
+      "-> direct circuits alone give a hot rack pair only (u-1)/N of a\n"
+      "   link; VLB recruits the idle capacity of every other rack.");
 
-  std::printf("\n(3) offsetting: short-flow FCT, Opera vs synchronized RotorNet\n");
+  auto& offset = ex.report().table(
+      "offsetting", {"fabric", "p50_us", "p99_us", "completed"});
   {
-    auto cfg = base_config();
-    core::OperaNetwork net(cfg);
-    low_latency_storm(net, 200);
-    net.run_until(sim::Time::ms(30));
-    const auto fct = net.tracker().fct_us(0, 1'000'000);
-    std::printf("  Opera (staggered) : p50 %8.1f us  p99 %8.1f us\n",
-                fct.percentile(50), fct.percentile(99));
+    const auto net = core::NetworkFactory::build(base_config());
+    low_latency_storm(*net, 200);
+    net->run_until(sim::Time::ms(30));
+    const auto fct = net->tracker().fct_us(0, 1'000'000);
+    offset.row({"Opera (staggered)", exp::Value(fct.percentile(50), 1),
+                exp::Value(fct.percentile(99), 1),
+                static_cast<std::int64_t>(net->tracker().completed())});
   }
   {
-    core::RotorNetConfig cfg;
-    cfg.structure.num_racks = 16;
-    cfg.structure.num_switches = 4;
-    cfg.structure.hybrid = false;
-    cfg.structure.seed = 3;
-    cfg.hosts_per_rack = 4;
-    core::RotorNetNetwork net(cfg);
-    sim::Rng rng(17);
-    for (int i = 0; i < 200; ++i) {
-      const auto src = static_cast<std::int32_t>(rng.index(64));
-      auto dst = static_cast<std::int32_t>(rng.index(64));
-      if (dst == src) dst = (dst + 1) % 64;
-      net.submit_flow(src, dst, 50'000, sim::Time::us(15 * i));
-    }
-    net.run_until(sim::Time::ms(60));
-    const auto fct = net.tracker().fct_us(0, 1'000'000);
-    std::printf("  RotorNet (unison) : p50 %8.1f us  p99 %8.1f us  "
-                "(completed %zu/200)\n",
-                fct.empty() ? 0.0 : fct.percentile(50),
-                fct.empty() ? 0.0 : fct.percentile(99), net.tracker().completed());
+    auto cfg = core::FabricConfig::make(core::FabricKind::kRotorNet);
+    cfg.rotornet.num_racks = 16;
+    cfg.rotornet.num_switches = 4;
+    cfg.rotornet.hybrid = false;
+    cfg.rotornet.seed = 3;
+    cfg.rotornet_hosts_per_rack = 4;
+    const auto net = core::NetworkFactory::build(cfg);
+    low_latency_storm(*net, 200);
+    net->run_until(sim::Time::ms(60));
+    const auto fct = net->tracker().fct_us(0, 1'000'000);
+    offset.row({"RotorNet (unison)",
+                exp::Value(fct.empty() ? 0.0 : fct.percentile(50), 1),
+                exp::Value(fct.empty() ? 0.0 : fct.percentile(99), 1),
+                static_cast<std::int64_t>(net->tracker().completed())});
   }
-  std::printf("  -> always-on multi-hop connectivity is what lets Opera carry\n"
-              "     latency-sensitive traffic at packet-switched FCTs.\n");
+  ex.report().note(
+      "-> always-on multi-hop connectivity is what lets Opera carry\n"
+      "   latency-sensitive traffic at packet-switched FCTs.");
   return 0;
 }

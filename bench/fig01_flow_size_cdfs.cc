@@ -1,33 +1,34 @@
 // Figure 1: published empirical flow-size distributions — CDF of flows
 // (top) and CDF of bytes (bottom) for Datamining [21], Websearch [4] and
 // Hadoop [39].
-#include <cstdio>
-
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "workload/flow_size_dist.h"
 
-int main() {
+int main(int argc, char** argv) {
   using opera::workload::FlowSizeDistribution;
-  opera::bench::banner("Figure 1: flow-size distributions (flow CDF and byte CDF)");
+  opera::exp::Experiment ex(
+      "Figure 1: flow-size distributions (flow CDF and byte CDF)", argc, argv);
+
+  auto& cdf = ex.report().table(
+      "cdf", {"distribution", "size_bytes", "cdf_flows", "cdf_bytes"});
+  auto& summary = ex.report().table(
+      "summary", {"distribution", "mean_bytes", "bulk_byte_pct"});
 
   for (const auto& dist :
        {FlowSizeDistribution::datamining(), FlowSizeDistribution::websearch(),
         FlowSizeDistribution::hadoop()}) {
-    std::printf("\n[%s] mean flow size = %.0f bytes\n", dist.name().c_str(),
-                dist.mean_bytes());
-    std::printf("  %-14s %-12s %-12s\n", "size (bytes)", "CDF(flows)", "CDF(bytes)");
     const auto bytes = dist.byte_cdf();
     const auto& flows = dist.flow_cdf();
     for (std::size_t i = 0; i < flows.size(); ++i) {
       const double byte_cdf = i < bytes.size() ? bytes[i].cdf : 1.0;
-      std::printf("  %-14.0f %-12.3f %-12.3f\n", flows[i].bytes, flows[i].cdf,
-                  byte_cdf);
+      cdf.row({dist.name(), opera::exp::Value(flows[i].bytes, 0),
+               opera::exp::Value(flows[i].cdf, 3), opera::exp::Value(byte_cdf, 3)});
     }
-    std::printf("  bytes in >=15MB (bulk) flows: %.1f%%\n",
-                100.0 * dist.byte_fraction_at_or_above(15e6));
+    summary.row({dist.name(), opera::exp::Value(dist.mean_bytes(), 0),
+                 opera::exp::Value(100.0 * dist.byte_fraction_at_or_above(15e6), 1)});
   }
-  std::printf(
-      "\nPaper check: Datamining/Hadoop are byte-heavy in bulk flows; Websearch"
-      " has essentially no bulk bytes (drives Figure 9's all-indirect case).\n");
+  ex.report().note(
+      "Paper check: Datamining/Hadoop are byte-heavy in bulk flows; Websearch"
+      " has essentially no bulk bytes (drives Figure 9's all-indirect case).");
   return 0;
 }

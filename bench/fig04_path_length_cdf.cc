@@ -1,10 +1,9 @@
 // Figure 4: CDF of ToR-to-ToR path lengths for the cost-equivalent
 // 648-host Opera (108 racks, u=6), 650-host u=7 expander (130 racks), and
 // 648-host 3:1 folded Clos (72 ToRs).
-#include <cstdio>
 #include <vector>
 
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "topo/expander.h"
 #include "topo/failures.h"
 #include "topo/folded_clos.h"
@@ -12,23 +11,22 @@
 
 namespace {
 
-void print_cdf(const char* name, const std::vector<std::size_t>& hist) {
+void emit_cdf(opera::exp::Table& table, const char* name,
+              const std::vector<std::size_t>& hist) {
   std::size_t total = 0;
   for (const auto c : hist) total += c;
-  std::printf("%-18s", name);
   double cum = 0.0;
   for (std::size_t h = 1; h < hist.size(); ++h) {
     cum += static_cast<double>(hist[h]) / static_cast<double>(total);
-    std::printf("  %zu:%0.3f", h, cum);
+    table.row({name, static_cast<std::int64_t>(h), opera::exp::Value(cum, 3)});
   }
-  std::printf("\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = opera::bench::has_flag(argc, argv, "--full");
-  opera::bench::banner("Figure 4: path-length CDF (648-host scale)");
+  opera::exp::Experiment ex("Figure 4: path-length CDF (648-host scale)", argc,
+                            argv);
   using namespace opera::topo;
 
   // Opera: aggregate over all (or sampled) topology slices.
@@ -39,7 +37,7 @@ int main(int argc, char** argv) {
   op.seed = 1;
   const OperaTopology opera(op);
   std::vector<std::size_t> opera_hist;
-  const int step = full ? 1 : 6;
+  const int step = ex.full() ? 1 : 6;
   double avg_sum = 0.0;
   int slices = 0;
   for (int s = 0; s < opera.num_slices(); s += step) {
@@ -73,13 +71,18 @@ int main(int argc, char** argv) {
   for (Vertex t = 0; t < clos.num_tors(); ++t) tors.push_back(t);
   const auto clos_stats = subset_path_stats(clos.switch_graph(), tors);
 
-  std::printf("hops: cumulative fraction of ToR pairs within h hops\n");
-  print_cdf("Opera (all slices)", opera_hist);
-  print_cdf("u=7 expander", exp_stats.hop_histogram);
-  print_cdf("3:1 folded Clos", clos_stats.hop_histogram);
-  std::printf("\nAverages: Opera %.2f (over %d slices)   expander %.2f   Clos %.2f\n",
-              avg_sum / slices, slices, exp_stats.average, clos_stats.average);
-  std::printf("Paper shape: Opera only slightly longer than the u=7 expander and "
-              "well below the Clos's 4-hop inter-pod mass.\n");
+  auto& cdf = ex.report().table("path_cdf", {"network", "hops", "cum_fraction"});
+  emit_cdf(cdf, "Opera (all slices)", opera_hist);
+  emit_cdf(cdf, "u=7 expander", exp_stats.hop_histogram);
+  emit_cdf(cdf, "3:1 folded Clos", clos_stats.hop_histogram);
+
+  auto& averages = ex.report().table("averages", {"network", "avg_path", "slices"});
+  averages.row({"Opera (all slices)", opera::exp::Value(avg_sum / slices, 2),
+                static_cast<std::int64_t>(slices)});
+  averages.row({"u=7 expander", opera::exp::Value(exp_stats.average, 2), 1});
+  averages.row({"3:1 folded Clos", opera::exp::Value(clos_stats.average, 2), 1});
+  ex.report().note(
+      "Paper shape: Opera only slightly longer than the u=7 expander and "
+      "well below the Clos's 4-hop inter-pod mass.");
   return 0;
 }

@@ -7,121 +7,43 @@
 // Flow sizes above the truncation cap are clipped so bulk flows can finish
 // within the horizon; the per-bucket FCT trends (who serves short flows
 // fast, who sustains load) are what carry over.
-#include <cstdio>
+#include <algorithm>
 
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "workload/flow_size_dist.h"
 
-namespace {
-
-using namespace opera;
-
-struct Scale {
-  int racks;
-  int switches;
-  int hosts_per_rack;
-  sim::Time horizon;
-  std::int64_t size_cap;
-  std::vector<double> loads;
-};
-
-std::vector<workload::FlowSpec> make_flows(const Scale& sc, double load,
-                                           std::uint64_t seed) {
-  const auto dist = workload::FlowSizeDistribution::datamining();
-  sim::Rng rng(seed);
-  auto flows = workload::poisson_workload(dist, sc.racks * sc.hosts_per_rack, load,
-                                          10e9, sc.horizon / 2, rng);
-  for (auto& f : flows) f.size_bytes = std::min(f.size_bytes, sc.size_cap);
-  return flows;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const bool full = bench::has_flag(argc, argv, "--full");
-  bench::banner("Figure 7: Datamining FCTs (p50/p99 by flow size)");
-  Scale sc = full ? Scale{108, 6, 6, sim::Time::ms(200), 400'000'000, {0.01, 0.10, 0.25}}
-                  : Scale{16, 4, 4, sim::Time::ms(60), 40'000'000, {0.01, 0.10}};
-  std::printf("testbed: %d racks x %d hosts, horizon %s, sizes capped at %lld MB\n\n",
-              sc.racks, sc.hosts_per_rack, sc.horizon.to_string().c_str(),
-              static_cast<long long>(sc.size_cap / 1'000'000));
+  using namespace opera;
+  exp::Experiment ex("Figure 7: Datamining FCTs (p50/p99 by flow size)", argc, argv);
+  const auto tb = exp::Testbed::select(ex.full());
+  const auto horizon = ex.full() ? sim::Time::ms(200) : sim::Time::ms(60);
+  const std::int64_t size_cap = ex.full() ? 400'000'000 : 40'000'000;
+  ex.report().note("testbed: %d racks x %d hosts, horizon %s, sizes capped at %lld MB",
+                   tb.racks, tb.hosts_per_rack, horizon.to_string().c_str(),
+                   static_cast<long long>(size_cap / 1'000'000));
 
-  for (const double load : sc.loads) {
-    const auto flows = make_flows(sc, load, 777);
+  exp::Experiment::FctSweep sweep;
+  sweep.fabrics = {{"Opera", tb.opera(), {}},
+                   {"Clos3:1", tb.clos(), {}},
+                   {"Expander", tb.expander(), {}},
+                   {"RotorNet", tb.rotornet(false), {}},
+                   {"RotorHyb", tb.rotornet(true), {}}};
+  sweep.loads = ex.full() ? std::vector<double>{0.01, 0.10, 0.25}
+                          : std::vector<double>{0.01, 0.10};
+  sweep.horizon = horizon;
+  sweep.make_flows = [&](double load) {
+    const auto dist = workload::FlowSizeDistribution::datamining();
+    sim::Rng rng(777);
+    auto flows = workload::poisson_workload(dist, tb.num_hosts(), load, 10e9,
+                                            horizon / 2, rng);
+    for (auto& f : flows) f.size_bytes = std::min(f.size_bytes, size_cap);
+    return flows;
+  };
+  ex.run_fct_sweep(sweep);
 
-    {  // Opera
-      core::OperaConfig cfg;
-      cfg.topology.num_racks = sc.racks;
-      cfg.topology.num_switches = sc.switches;
-      cfg.topology.hosts_per_rack = sc.hosts_per_rack;
-      cfg.topology.seed = 3;
-      core::OperaNetwork net(cfg);
-      bench::submit_all(net, flows);
-      net.run_until(sc.horizon);
-      bench::print_fct_rows(net.tracker(), "Opera", load * 100);
-    }
-    {  // 3:1 folded Clos (cost-equivalent)
-      core::ClosNetConfig cfg;
-      cfg.structure.radix = full ? 12 : 8;
-      cfg.structure.oversubscription = 3;
-      cfg.structure.num_pods = full ? 12 : 4;
-      core::ClosNetwork net(cfg);
-      // Map host ids into this network's host count.
-      const int hosts = net.num_hosts();
-      for (const auto& f : flows) {
-        const auto src = f.src_host % hosts;
-        auto dst = f.dst_host % hosts;
-        if (dst == src) dst = (dst + 1) % hosts;
-        net.submit_flow(src, dst, f.size_bytes, f.start);
-      }
-      net.run_until(sc.horizon);
-      bench::print_fct_rows(net.tracker(), "Clos3:1", load * 100);
-    }
-    {  // static expander (u > k/2, cost-equivalent)
-      core::ExpanderNetConfig cfg;
-      cfg.structure.num_tors = full ? 130 : 20;
-      cfg.structure.uplinks = full ? 7 : 5;
-      cfg.structure.hosts_per_tor = full ? 5 : 3;
-      cfg.structure.seed = 3;
-      core::ExpanderNetwork net(cfg);
-      const int hosts = net.num_hosts();
-      for (const auto& f : flows) {
-        const auto src = f.src_host % hosts;
-        auto dst = f.dst_host % hosts;
-        if (dst == src) dst = (dst + 1) % hosts;
-        net.submit_flow(src, dst, f.size_bytes, f.start);
-      }
-      net.run_until(sc.horizon);
-      bench::print_fct_rows(net.tracker(), "Expander", load * 100);
-    }
-    {  // RotorNet, non-hybrid (all-optical; short flows wait for circuits)
-      core::RotorNetConfig cfg;
-      cfg.structure.num_racks = sc.racks;
-      cfg.structure.num_switches = sc.switches;
-      cfg.structure.hybrid = false;
-      cfg.structure.seed = 3;
-      cfg.hosts_per_rack = sc.hosts_per_rack;
-      core::RotorNetNetwork net(cfg);
-      bench::submit_all(net, flows);
-      net.run_until(sc.horizon);
-      bench::print_fct_rows(net.tracker(), "RotorNet", load * 100);
-    }
-    {  // RotorNet, hybrid (+1 packet uplink, +33% cost)
-      core::RotorNetConfig cfg;
-      cfg.structure.num_racks = sc.racks;
-      cfg.structure.num_switches = sc.switches + 1;
-      cfg.structure.hybrid = true;
-      cfg.structure.seed = 3;
-      cfg.hosts_per_rack = sc.hosts_per_rack;
-      core::RotorNetNetwork net(cfg);
-      bench::submit_all(net, flows);
-      net.run_until(sc.horizon);
-      bench::print_fct_rows(net.tracker(), "RotorHyb", load * 100);
-    }
-    std::printf("\n");
-  }
-  std::printf("Paper shape: Opera matches the static networks on short-flow FCT\n"
-              "(priority-queued expander paths), sustains higher load, and beats\n"
-              "non-hybrid RotorNet's short-flow FCT by ~3 orders of magnitude.\n");
+  ex.report().note(
+      "Paper shape: Opera matches the static networks on short-flow FCT\n"
+      "(priority-queued expander paths), sustains higher load, and beats\n"
+      "non-hybrid RotorNet's short-flow FCT by ~3 orders of magnitude.");
   return 0;
 }

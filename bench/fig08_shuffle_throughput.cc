@@ -3,107 +3,75 @@
 // bulk traffic. Opera carries all of it over direct circuits; the static
 // networks pay oversubscription (Clos) or the multi-hop bandwidth tax
 // (expander).
-#include <cstdio>
+#include <optional>
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace opera;
-
-void print_series(const char* name, const sim::ThroughputSeries& ts,
-                  double capacity_bps, std::size_t flows,
-                  const transport::FlowTracker& tracker) {
-  std::printf("\n[%s] delivered fraction of aggregate host bandwidth per 2 ms bin\n  ",
-              name);
-  const auto series = ts.series();
-  for (std::size_t i = 0; i < series.size() && i < 30; ++i) {
-    std::printf("%.2f ", series[i].bits_per_second / capacity_bps);
-  }
-  std::printf("\n  flows completed: %zu/%zu", tracker.completed(), flows);
-  if (tracker.completed() > 0) {
-    auto fct = tracker.fct_us(0, 1LL << 62);
-    std::printf("   FCT p50=%.1fms p99=%.1fms", fct.percentile(50) / 1000.0,
-                fct.percentile(99) / 1000.0);
-  }
-  std::printf("\n");
-}
-
-}  // namespace
+#include "exp/experiment.h"
+#include "sim/stats.h"
 
 int main(int argc, char** argv) {
-  const bool full = bench::has_flag(argc, argv, "--full");
-  bench::banner("Figure 8: 100KB all-to-all shuffle throughput over time");
-  const int racks = full ? 108 : 16;
-  const int switches = full ? 6 : 4;
-  const int hosts_per_rack = full ? 6 : 4;
-  const int num_hosts = racks * hosts_per_rack;
-  const double capacity = num_hosts * 10e9;
-  const auto horizon = full ? sim::Time::ms(300) : sim::Time::ms(60);
+  using namespace opera;
+  exp::Experiment ex("Figure 8: 100KB all-to-all shuffle throughput over time",
+                     argc, argv);
+  const auto tb = exp::Testbed::select(ex.full());
+  const auto horizon = ex.full() ? sim::Time::ms(300) : sim::Time::ms(60);
   const auto bin = sim::Time::ms(2);
   sim::Rng wl_rng(12);
 
-  {  // Opera: flows tagged bulk, simultaneous start (RotorLB handles it).
-    const auto flows = workload::shuffle_workload(num_hosts, hosts_per_rack, 100'000,
-                                                  sim::Time::zero(), wl_rng);
-    core::OperaConfig cfg;
-    cfg.topology.num_racks = racks;
-    cfg.topology.num_switches = switches;
-    cfg.topology.hosts_per_rack = hosts_per_rack;
-    cfg.topology.seed = 3;
-    core::OperaNetwork net(cfg);
+  struct Spec {
+    const char* label;
+    core::FabricConfig cfg;
+    std::optional<net::TrafficClass> force;  // Opera: application-tagged bulk
+    sim::Time stagger;                       // static nets: startup effects
+    int hosts_per_rack;                      // shuffle locality granularity
+  };
+  const Spec specs[] = {
+      {"Opera (direct circuits)", tb.opera(), net::TrafficClass::kBulk,
+       sim::Time::zero(), tb.hosts_per_rack},
+      {"3:1 folded Clos", tb.clos(), std::nullopt, sim::Time::ms(10),
+       tb.clos().clos.hosts_per_tor()},
+      {"u-expander", tb.expander(), std::nullopt, sim::Time::ms(10),
+       tb.expander_hosts_per_tor},
+  };
+
+  auto& series_table =
+      ex.report().table("series", {"fabric", "bin", "delivered_fraction"});
+  auto& summary = ex.report().table(
+      "summary", {"fabric", "flows", "completed", "fct_p50_ms", "fct_p99_ms"});
+
+  for (const auto& spec : specs) {
+    const int hosts = spec.cfg.num_hosts();
+    const auto flows = workload::shuffle_workload(hosts, spec.hosts_per_rack,
+                                                  100'000, spec.stagger, wl_rng);
     sim::ThroughputSeries ts(bin);
-    net.tracker().set_delivery_hook(
-        [&](const transport::Flow&, std::int64_t bytes, sim::Time at) {
-          ts.record(at, bytes);
-        });
-    for (const auto& f : flows) {
-      net.submit_flow(f.src_host, f.dst_host, f.size_bytes, f.start,
-                      net::TrafficClass::kBulk);  // application-tagged
+    exp::Experiment::RunOptions opts;
+    opts.horizon = horizon;
+    opts.force_class = spec.force;
+    opts.setup = [&ts](core::Network& net) {
+      net.tracker().set_delivery_hook(
+          [&ts](const transport::Flow&, std::int64_t bytes, sim::Time at) {
+            ts.record(at, bytes);
+          });
+    };
+    const auto result = ex.run(spec.label, spec.cfg, flows, opts);
+
+    const double capacity = hosts * 10e9;
+    const auto series = ts.series();
+    for (std::size_t i = 0; i < series.size() && i < 30; ++i) {
+      series_table.row({spec.label, static_cast<std::int64_t>(i),
+                        exp::Value(series[i].bits_per_second / capacity, 2)});
     }
-    net.run_until(horizon);
-    print_series("Opera (direct circuits)", ts, capacity, flows.size(), net.tracker());
+    const auto& tracker = result.net->tracker();
+    const auto fct = tracker.fct_us(0, 1LL << 62);
+    if (fct.empty()) {
+      summary.row({spec.label, flows.size(), tracker.completed(), "-", "-"});
+    } else {
+      summary.row({spec.label, flows.size(), tracker.completed(),
+                   exp::Value(fct.percentile(50) / 1000.0, 1),
+                   exp::Value(fct.percentile(99) / 1000.0, 1)});
+    }
   }
-  {  // 3:1 Clos, arrivals staggered over 10 ms (paper: startup effects).
-    core::ClosNetConfig cfg;
-    cfg.structure.radix = full ? 12 : 8;
-    cfg.structure.oversubscription = 3;
-    cfg.structure.num_pods = full ? 12 : 4;
-    core::ClosNetwork net(cfg);
-    const auto flows = workload::shuffle_workload(
-        net.num_hosts(), cfg.structure.hosts_per_tor(), 100'000, sim::Time::ms(10),
-        wl_rng);
-    sim::ThroughputSeries ts(bin);
-    net.tracker().set_delivery_hook(
-        [&](const transport::Flow&, std::int64_t bytes, sim::Time at) {
-          ts.record(at, bytes);
-        });
-    bench::submit_all(net, flows);
-    net.run_until(horizon);
-    print_series("3:1 folded Clos", ts, net.num_hosts() * 10e9, flows.size(),
-                 net.tracker());
-  }
-  {  // static expander, staggered arrivals.
-    core::ExpanderNetConfig cfg;
-    cfg.structure.num_tors = full ? 130 : 20;
-    cfg.structure.uplinks = full ? 7 : 5;
-    cfg.structure.hosts_per_tor = full ? 5 : 3;
-    cfg.structure.seed = 3;
-    core::ExpanderNetwork net(cfg);
-    const auto flows = workload::shuffle_workload(
-        net.num_hosts(), cfg.structure.hosts_per_tor, 100'000, sim::Time::ms(10),
-        wl_rng);
-    sim::ThroughputSeries ts(bin);
-    net.tracker().set_delivery_hook(
-        [&](const transport::Flow&, std::int64_t bytes, sim::Time at) {
-          ts.record(at, bytes);
-        });
-    bench::submit_all(net, flows);
-    net.run_until(horizon);
-    print_series("u-expander", ts, net.num_hosts() * 10e9, flows.size(),
-                 net.tracker());
-  }
-  std::printf("\nPaper shape: Opera sustains much higher delivered bandwidth and\n"
-              "finishes the shuffle ~4x sooner (60 ms vs ~225 ms at paper scale).\n");
+  ex.report().note(
+      "Paper shape: Opera sustains much higher delivered bandwidth and\n"
+      "finishes the shuffle ~4x sooner (60 ms vs ~225 ms at paper scale).");
   return 0;
 }

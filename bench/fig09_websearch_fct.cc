@@ -1,80 +1,33 @@
 // Figure 9: FCT vs flow size for the Websearch workload — Opera's worst
 // case, since every flow is below the bulk threshold and rides indirect
 // expander paths paying the bandwidth tax.
-#include <cstdio>
-
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "workload/flow_size_dist.h"
 
-namespace {
-using namespace opera;
-}
-
 int main(int argc, char** argv) {
-  const bool full = bench::has_flag(argc, argv, "--full");
-  bench::banner("Figure 9: Websearch FCTs (all flows low-latency/indirect)");
-  const int racks = full ? 108 : 16;
-  const int switches = full ? 6 : 4;
-  const int hosts_per_rack = full ? 6 : 4;
-  const int num_hosts = racks * hosts_per_rack;
-  const auto horizon = full ? sim::Time::ms(100) : sim::Time::ms(40);
-  const std::vector<double> loads = full ? std::vector<double>{0.01, 0.05, 0.10}
-                                         : std::vector<double>{0.01, 0.05, 0.10};
+  using namespace opera;
+  exp::Experiment ex("Figure 9: Websearch FCTs (all flows low-latency/indirect)",
+                     argc, argv);
+  const auto tb = exp::Testbed::select(ex.full());
+  const auto horizon = ex.full() ? sim::Time::ms(100) : sim::Time::ms(40);
   const auto dist = workload::FlowSizeDistribution::websearch();
 
-  for (const double load : loads) {
+  exp::Experiment::FctSweep sweep;
+  sweep.fabrics = {{"Opera", tb.opera(), {}},
+                   {"Clos3:1", tb.clos(), {}},
+                   {"Expander", tb.expander(), {}}};
+  sweep.loads = {0.01, 0.05, 0.10};
+  sweep.horizon = horizon;
+  sweep.make_flows = [&](double load) {
     sim::Rng rng(31337);
-    const auto flows =
-        workload::poisson_workload(dist, num_hosts, load, 10e9, horizon / 2, rng);
+    return workload::poisson_workload(dist, tb.num_hosts(), load, 10e9, horizon / 2,
+                                      rng);
+  };
+  ex.run_fct_sweep(sweep);
 
-    {
-      core::OperaConfig cfg;
-      cfg.topology.num_racks = racks;
-      cfg.topology.num_switches = switches;
-      cfg.topology.hosts_per_rack = hosts_per_rack;
-      cfg.topology.seed = 3;
-      core::OperaNetwork net(cfg);
-      bench::submit_all(net, flows);
-      net.run_until(horizon);
-      bench::print_fct_rows(net.tracker(), "Opera", load * 100);
-    }
-    {
-      core::ClosNetConfig cfg;
-      cfg.structure.radix = full ? 12 : 8;
-      cfg.structure.oversubscription = 3;
-      cfg.structure.num_pods = full ? 12 : 4;
-      core::ClosNetwork net(cfg);
-      const int hosts = net.num_hosts();
-      for (const auto& f : flows) {
-        const auto src = f.src_host % hosts;
-        auto dst = f.dst_host % hosts;
-        if (dst == src) dst = (dst + 1) % hosts;
-        net.submit_flow(src, dst, f.size_bytes, f.start);
-      }
-      net.run_until(horizon);
-      bench::print_fct_rows(net.tracker(), "Clos3:1", load * 100);
-    }
-    {
-      core::ExpanderNetConfig cfg;
-      cfg.structure.num_tors = full ? 130 : 20;
-      cfg.structure.uplinks = full ? 7 : 5;
-      cfg.structure.hosts_per_tor = full ? 5 : 3;
-      cfg.structure.seed = 3;
-      core::ExpanderNetwork net(cfg);
-      const int hosts = net.num_hosts();
-      for (const auto& f : flows) {
-        const auto src = f.src_host % hosts;
-        auto dst = f.dst_host % hosts;
-        if (dst == src) dst = (dst + 1) % hosts;
-        net.submit_flow(src, dst, f.size_bytes, f.start);
-      }
-      net.run_until(horizon);
-      bench::print_fct_rows(net.tracker(), "Expander", load * 100);
-    }
-    std::printf("\n");
-  }
-  std::printf("Paper shape: all three networks deliver equivalent FCTs at <=10%%\n"
-              "load; Opera admits no more than ~10%% (it has 60%% of the expander's\n"
-              "capacity and pays a 41%% tax from its longer expected path).\n");
+  ex.report().note(
+      "Paper shape: all three networks deliver equivalent FCTs at <=10%%\n"
+      "load; Opera admits no more than ~10%% (it has 60%% of the expander's\n"
+      "capacity and pays a 41%% tax from its longer expected path).");
   return 0;
 }

@@ -11,9 +11,8 @@
 // Throughput is normalized to aggregate host bandwidth; Websearch load is
 // admitted up to each network's low-latency limit.
 #include <algorithm>
-#include <cstdio>
 
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "topo/expander.h"
 #include "topo/opera_topology.h"
 
@@ -35,9 +34,11 @@ double mixed_throughput(const NetParams& net, double ws_load) {
 
 }  // namespace
 
-int main() {
-  opera::bench::banner(
-      "Figure 10: throughput vs Websearch load (Websearch + shuffle mix)");
+int main(int argc, char** argv) {
+  using namespace opera;
+  exp::Experiment ex(
+      "Figure 10: throughput vs Websearch load (Websearch + shuffle mix)", argc,
+      argv);
   using namespace opera::topo;
 
   // Opera: u=6, one switch reconfiguring, 90% duty -> capacity in units of
@@ -46,8 +47,8 @@ int main() {
   op.num_racks = 108;
   op.num_switches = 6;
   op.seed = 1;
-  const OperaTopology opera(op);
-  const double opera_avg_path = all_pairs_path_stats(opera.slice_graph(2)).average;
+  const OperaTopology opera_topo(op);
+  const double opera_avg_path = all_pairs_path_stats(opera_topo.slice_graph(2)).average;
   const NetParams opera_net{(6.0 - 1.0) / 6.0 * 0.9, opera_avg_path, 1.0};
 
   // u=7 expander: capacity u/d, all traffic pays avg path length.
@@ -63,17 +64,17 @@ int main() {
   // 3:1 folded Clos: 1/3 of host bandwidth, no path tax.
   const NetParams clos_net{1.0 / 3.0, 1.0, 1.0};
 
-  std::printf("%-16s %-10s %-12s %-12s\n", "Websearch load", "Opera", "u=7 expander",
-              "3:1 Clos");
+  auto& table = ex.report().table(
+      "throughput", {"websearch_load", "opera", "u7_expander", "clos_3_1"});
   for (const double w : {0.01, 0.025, 0.05, 0.10, 0.20, 0.40}) {
-    std::printf("%-16.3f %-10.3f %-12.3f %-12.3f\n", w,
-                mixed_throughput(opera_net, w), mixed_throughput(exp_net, w),
-                mixed_throughput(clos_net, w));
+    table.row({exp::Value(w, 3), exp::Value(mixed_throughput(opera_net, w), 3),
+               exp::Value(mixed_throughput(exp_net, w), 3),
+               exp::Value(mixed_throughput(clos_net, w), 3)});
   }
-  std::printf(
-      "\nPaper shape: Opera delivers up to ~4x the static networks at low\n"
+  ex.report().note(
+      "Paper shape: Opera delivers up to ~4x the static networks at low\n"
       "Websearch load and ~2x near its 10%% low-latency admission limit\n"
-      "(Opera avg path %.2f hops; expander %.2f hops).\n",
+      "(Opera avg path %.2f hops; expander %.2f hops).",
       opera_avg_path, exp_avg_path);
   return 0;
 }

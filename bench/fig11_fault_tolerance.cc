@@ -1,13 +1,11 @@
 // Figure 11: Opera connectivity loss under random link / ToR / circuit-
 // switch failures (648-host network: 108 racks, 6 rotor switches, k=12).
-#include <cstdio>
-
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "topo/failures.h"
 
 int main(int argc, char** argv) {
-  const bool full = opera::bench::has_flag(argc, argv, "--full");
-  opera::bench::banner("Figure 11: Opera fault tolerance (108 racks, 6 switches)");
+  opera::exp::Experiment ex(
+      "Figure 11: Opera fault tolerance (108 racks, 6 switches)", argc, argv);
   using namespace opera::topo;
 
   OperaParams p;
@@ -18,7 +16,7 @@ int main(int argc, char** argv) {
   const OperaTopology topo(p);
 
   const double fractions[] = {0.01, 0.025, 0.05, 0.10, 0.20, 0.40};
-  const int trials = full ? 5 : 1;
+  const int trials = ex.full() ? 5 : 1;
 
   const struct {
     FailureKind kind;
@@ -27,8 +25,10 @@ int main(int argc, char** argv) {
                {FailureKind::kTor, "ToRs"},
                {FailureKind::kCircuitSwitch, "circuit switches"}};
 
+  auto& table = ex.report().table(
+      "connectivity_loss",
+      {"failed_kind", "failed_pct", "worst_slice_loss", "all_slices_loss"});
   for (const auto& [kind, label] : kinds) {
-    std::printf("\nFailed %-16s  worst-slice loss    across-all-slices loss\n", label);
     for (const double f : fractions) {
       double worst = 0.0;
       double any = 0.0;
@@ -38,13 +38,14 @@ int main(int argc, char** argv) {
         worst += report.worst_slice_connectivity_loss;
         any += report.any_slice_connectivity_loss;
       }
-      std::printf("  %5.1f%%             %8.4f            %8.4f\n", f * 100.0,
-                  worst / trials, any / trials);
+      table.row({label, opera::exp::Value(f * 100.0, 1),
+                 opera::exp::Value(worst / trials, 4),
+                 opera::exp::Value(any / trials, 4)});
     }
   }
-  std::printf(
-      "\nPaper shape: no connectivity loss up to ~4%% links, ~7%% ToRs, or 2/6\n"
+  ex.report().note(
+      "Paper shape: no connectivity loss up to ~4%% links, ~7%% ToRs, or 2/6\n"
       "circuit switches failed; loss grows slowly beyond that (expander\n"
-      "fault tolerance).\n");
+      "fault tolerance).");
   return 0;
 }

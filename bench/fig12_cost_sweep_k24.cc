@@ -7,96 +7,18 @@
 // IS alpha, so it appears as a flat line. Throughputs come from the fluid
 // models (DESIGN.md substitution); normalized to active-host capacity.
 #include <algorithm>
-#include <cstdio>
 
-#include "bench_common.h"
 #include "core/cost_model.h"
-#include "fluid/throughput.h"
-#include "topo/random_regular.h"
+#include "exp/cost_sweep.h"
+#include "exp/experiment.h"
 
-namespace {
-
-constexpr double kRate = 10e9;
-
-struct Workload {
-  const char* name;
-  opera::fluid::Demand (*make)(int racks, int hosts, unsigned seed);
-};
-
-opera::fluid::Demand make_hotrack(int racks, int hosts, unsigned) {
-  return opera::fluid::Demand::hotrack(racks, hosts, kRate);
-}
-opera::fluid::Demand make_skew(int racks, int hosts, unsigned seed) {
-  return opera::fluid::Demand::skew(racks, hosts, kRate, 0.2, seed);
-}
-opera::fluid::Demand make_permutation(int racks, int hosts, unsigned seed) {
-  return opera::fluid::Demand::permutation(racks, hosts, kRate, seed);
-}
-opera::fluid::Demand make_all_to_all(int racks, int hosts, unsigned) {
-  return opera::fluid::Demand::all_to_all(racks, hosts, kRate);
-}
-
-void run_sweep(int k) {
-  using opera::core::CostModel;
-  const auto hosts = CostModel::clos_hosts(k, 3.0);
-  const int opera_racks = static_cast<int>(CostModel::opera_racks(k));
-  const int opera_hosts_per_rack = k / 2;
-
-  const Workload workloads[] = {{"hotrack", make_hotrack},
-                                {"skew[0.2,1]", make_skew},
-                                {"permutation", make_permutation},
-                                {"all-to-all", make_all_to_all}};
-  const double alphas[] = {1.0, 1.25, 1.5, 1.75, 2.0};
-
-  for (const auto& wl : workloads) {
-    std::printf("\n[%s, k=%d, %lld hosts]\n", wl.name, k,
-                static_cast<long long>(hosts));
-    std::printf("  %-7s %-12s %-12s %-12s\n", "alpha", "Opera", "expander",
-                "folded Clos");
-
-    // Opera is independent of alpha: compute once.
-    opera::fluid::RotorModelParams rp;
-    rp.num_racks = opera_racks;
-    rp.uplinks = k / 2;
-    rp.link_rate_bps = kRate;
-    rp.active_fraction = static_cast<double>(k / 2 - 1) / (k / 2);
-    rp.duty_cycle = 0.9;
-    const auto opera_demand = wl.make(opera_racks, opera_hosts_per_rack, 7);
-    const double opera_theta =
-        std::min(1.0, opera::fluid::rotor_throughput(opera_demand, rp));
-
-    for (const double alpha : alphas) {
-      // Expander at this cost point.
-      const int u_e = CostModel::expander_uplinks(alpha, k);
-      const int d_e = k - u_e;
-      const int racks_e = static_cast<int>(hosts / d_e);
-      opera::sim::Rng rng(17);
-      const auto g = opera::topo::random_regular_graph(racks_e, u_e, rng);
-      const auto exp_demand = wl.make(racks_e, d_e, 7);
-      const double exp_theta =
-          std::min(1.0, opera::fluid::expander_throughput(exp_demand, g, kRate));
-
-      // Clos at this cost point.
-      const double f = CostModel::clos_oversubscription(alpha);
-      const auto clos_demand = wl.make(opera_racks, opera_hosts_per_rack, 7);
-      const double clos_theta = std::min(
-          1.0, opera::fluid::clos_throughput(clos_demand, opera_hosts_per_rack,
-                                             kRate, f));
-
-      std::printf("  %-7.2f %-12.3f %-12.3f %-12.3f\n", alpha, opera_theta,
-                  exp_theta, clos_theta);
-    }
-  }
-  std::printf(
-      "\nPaper shape: Opera wins for permutation/moderate skew while alpha <~1.8,\n"
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex("Figure 12: throughput vs cost factor alpha (k=24)",
+                            argc, argv);
+  opera::exp::run_cost_sweep(ex, 24, /*rng_seed=*/17);
+  ex.report().note(
+      "Paper shape: Opera wins for permutation/moderate skew while alpha <~1.8,\n"
       "ties the expander on hotrack, and delivers ~2x both on all-to-all even\n"
-      "at alpha=2. Clos is workload-independent at 1/F.\n");
-}
-
-}  // namespace
-
-int main() {
-  opera::bench::banner("Figure 12: throughput vs cost factor alpha (k=24)");
-  run_sweep(24);
+      "at alpha=2. Clos is workload-independent at 1/F.");
   return 0;
 }

@@ -6,22 +6,24 @@
 // simulator does not model, so our absolute RTTs are lower; the *shape* —
 // a smooth distribution shifted by queueing behind bulk MTUs at each
 // serialization point — is the figure's point and is reproduced here.
-#include <cstdio>
 #include <unordered_map>
 
-#include "bench_common.h"
+#include "exp/experiment.h"
+#include "sim/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opera;
-  bench::banner("Figure 13: prototype ping-pong RTT CDF (8 ToRs, 4 rotors)");
+  exp::Experiment ex("Figure 13: prototype ping-pong RTT CDF (8 ToRs, 4 rotors)",
+                     argc, argv);
+  auto& table = ex.report().table("rtt", {"scenario", "percentile", "rtt_us"});
 
   for (const bool with_bulk : {false, true}) {
-    core::OperaConfig cfg;
-    cfg.topology.num_racks = 8;
-    cfg.topology.num_switches = 4;
-    cfg.topology.hosts_per_rack = 1;  // one host per ToR, as in the prototype
-    cfg.topology.seed = 5;
-    core::OperaNetwork net(cfg);
+    auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+    cfg.opera.num_racks = 8;
+    cfg.opera.num_switches = 4;
+    cfg.opera.hosts_per_rack = 1;  // one host per ToR, as in the prototype
+    cfg.opera.seed = 5;
+    const auto net = core::NetworkFactory::build(cfg);
 
     if (with_bulk) {
       // MPI-style all-to-all shuffle, tagged bulk (the prototype's Hadoop
@@ -29,8 +31,8 @@ int main() {
       for (int s = 0; s < 8; ++s) {
         for (int t = 0; t < 8; ++t) {
           if (s == t) continue;
-          net.submit_flow(s, t, 30'000'000, sim::Time::zero(),
-                          net::TrafficClass::kBulk);
+          net->submit_flow(s, t, 30'000'000, sim::Time::zero(),
+                           net::TrafficClass::kBulk);
         }
       }
     }
@@ -40,10 +42,10 @@ int main() {
     sim::PercentileSampler rtts;
     std::unordered_map<std::uint64_t, sim::Time> request_start;
     std::unordered_map<std::uint64_t, sim::Time> response_start;
-    net.tracker().set_completion_hook([&](const transport::FlowRecord& rec) {
+    net->tracker().set_completion_hook([&](const transport::FlowRecord& rec) {
       if (const auto it = request_start.find(rec.flow.id); it != request_start.end()) {
-        const auto resp = net.submit_flow(rec.flow.dst_host, rec.flow.src_host, 512,
-                                          net.sim().now());
+        const auto resp = net->submit_flow(rec.flow.dst_host, rec.flow.src_host, 512,
+                                           net->sim().now());
         response_start[resp] = it->second;
         request_start.erase(it);
         return;
@@ -61,24 +63,25 @@ int main() {
       const auto a = static_cast<std::int32_t>(rng.index(8));
       auto b = static_cast<std::int32_t>(rng.index(8));
       if (b == a) b = (b + 1) % 8;
-      net.sim().schedule_at(t0, [&net, &request_start, a, b] {
-        const auto id = net.submit_flow(a, b, 512, net.sim().now());
-        request_start[id] = net.sim().now();
+      net->sim().schedule_at(t0, [&net, &request_start, a, b] {
+        const auto id = net->submit_flow(a, b, 512, net->sim().now());
+        request_start[id] = net->sim().now();
       });
     }
-    net.run_until(sim::Time::ms(60));
+    net->run_until(sim::Time::ms(60));
 
-    std::printf("\n[%s bulk traffic] pings answered: %zu\n",
-                with_bulk ? "with" : "without", rtts.count());
+    const char* scenario = with_bulk ? "with bulk" : "without bulk";
+    ex.report().note("[%s traffic] pings answered: %zu", scenario, rtts.count());
     if (!rtts.empty()) {
       for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
-        std::printf("  p%-4.0f RTT = %7.2f us\n", p, rtts.percentile(p));
+        table.row({scenario, exp::Value(p, 0), exp::Value(rtts.percentile(p), 2)});
       }
     }
   }
-  std::printf("\nPaper shape: without bulk, RTT is set by path length; with bulk,\n"
-              "low-latency packets queue behind in-flight bulk MTUs at each\n"
-              "serialization point, smoothly shifting/widening the distribution\n"
-              "(the hardware adds ~3us/hop of P4 latency we do not model).\n");
+  ex.report().note(
+      "Paper shape: without bulk, RTT is set by path length; with bulk,\n"
+      "low-latency packets queue behind in-flight bulk MTUs at each\n"
+      "serialization point, smoothly shifting/widening the distribution\n"
+      "(the hardware adds ~3us/hop of P4 latency we do not model).");
   return 0;
 }

@@ -1,31 +1,34 @@
 // Figure 14: relative cycle time vs ToR radix, with and without grouped
 // rotor reconfiguration (Appendix B).
-#include <cstdio>
-
-#include "bench_common.h"
 #include "core/cycle.h"
+#include "exp/experiment.h"
 
-int main() {
-  opera::bench::banner("Figure 14: relative cycle time vs ToR radix");
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex("Figure 14: relative cycle time vs ToR radix", argc,
+                            argv);
   opera::core::CycleModel model;
 
-  std::printf("%-6s %-8s %-10s %-18s %-22s\n", "k", "racks", "switches",
-              "rel. cycle (none)", "rel. cycle (groups of 6)");
+  auto& table = ex.report().table(
+      "cycle_time",
+      {"k", "racks", "switches", "rel_cycle_none", "rel_cycle_groups6"});
   for (const int k : {12, 24, 36, 48, 60}) {
-    std::printf("%-6d %-8lld %-10d %-18.1f %-22.1f\n", k,
-                static_cast<long long>(opera::core::CycleModel::racks(k)),
-                opera::core::CycleModel::rotor_switches(k),
-                model.relative_cycle_time(k),
-                model.relative_cycle_time(k, 6));
+    table.row({static_cast<std::int64_t>(k),
+               static_cast<std::int64_t>(opera::core::CycleModel::racks(k)),
+               static_cast<std::int64_t>(opera::core::CycleModel::rotor_switches(k)),
+               opera::exp::Value(model.relative_cycle_time(k), 1),
+               opera::exp::Value(model.relative_cycle_time(k, 6), 1)});
   }
-  std::printf("\nAbsolute values at the paper's constants:\n");
-  std::printf("  k=12: cycle %.1f ms, duty cycle %.1f%%, bulk threshold %.0f MB\n",
-              model.cycle_time(12).to_ms(), 100.0 * model.duty_cycle(12),
-              static_cast<double>(model.bulk_threshold_bytes(12, 10e9)) / 1e6);
-  std::printf("  k=64 (groups of 6): cycle %.1f ms, bulk threshold %.0f MB\n",
-              model.cycle_time(64, 6).to_ms(),
-              static_cast<double>(model.bulk_threshold_bytes(64, 10e9, 6)) / 1e6);
-  std::printf("\nPaper shape: quadratic growth without grouping (25x at k=60),\n"
-              "linear with groups of 6 (5x at k=60); 90 MB cutoff at k=64.\n");
+  ex.report().note("Absolute values at the paper's constants:");
+  ex.report().note(
+      "  k=12: cycle %.1f ms, duty cycle %.1f%%, bulk threshold %.0f MB",
+      model.cycle_time(12).to_ms(), 100.0 * model.duty_cycle(12),
+      static_cast<double>(model.bulk_threshold_bytes(12, 10e9)) / 1e6);
+  ex.report().note(
+      "  k=64 (groups of 6): cycle %.1f ms, bulk threshold %.0f MB",
+      model.cycle_time(64, 6).to_ms(),
+      static_cast<double>(model.bulk_threshold_bytes(64, 10e9, 6)) / 1e6);
+  ex.report().note(
+      "Paper shape: quadratic growth without grouping (25x at k=60),\n"
+      "linear with groups of 6 (5x at k=60); 90 MB cutoff at k=64.");
   return 0;
 }

@@ -1,73 +1,15 @@
 // Figure 15: same cost sweep as Figure 12 at k=12 (648 hosts). The paper's
 // point: cost-normalized performance is nearly independent of scale —
 // compare this output with fig12_cost_sweep_k24.
-#include <algorithm>
-#include <cstdio>
+#include "exp/cost_sweep.h"
+#include "exp/experiment.h"
 
-#include "bench_common.h"
-#include "core/cost_model.h"
-#include "fluid/throughput.h"
-#include "topo/random_regular.h"
-
-namespace {
-
-constexpr double kRate = 10e9;
-
-opera::fluid::Demand make_workload(const char* name, int racks, int hosts,
-                                   unsigned seed) {
-  using opera::fluid::Demand;
-  if (std::string_view(name) == "hotrack") return Demand::hotrack(racks, hosts, kRate);
-  if (std::string_view(name) == "skew[0.2,1]")
-    return Demand::skew(racks, hosts, kRate, 0.2, seed);
-  if (std::string_view(name) == "permutation")
-    return Demand::permutation(racks, hosts, kRate, seed);
-  return Demand::all_to_all(racks, hosts, kRate);
-}
-
-}  // namespace
-
-int main() {
-  opera::bench::banner("Figure 15: throughput vs cost factor alpha (k=12)");
-  using opera::core::CostModel;
-  constexpr int k = 12;
-  const auto hosts = CostModel::clos_hosts(k, 3.0);  // 648
-  const int opera_racks = static_cast<int>(CostModel::opera_racks(k));
-  const int d_opera = k / 2;
-
-  const char* workloads[] = {"hotrack", "skew[0.2,1]", "permutation", "all-to-all"};
-  const double alphas[] = {1.0, 1.25, 1.5, 1.75, 2.0};
-
-  for (const char* wl : workloads) {
-    std::printf("\n[%s, k=%d, %lld hosts]\n", wl, k, static_cast<long long>(hosts));
-    std::printf("  %-7s %-12s %-12s %-12s\n", "alpha", "Opera", "expander",
-                "folded Clos");
-    opera::fluid::RotorModelParams rp;
-    rp.num_racks = opera_racks;
-    rp.uplinks = d_opera;
-    rp.link_rate_bps = kRate;
-    rp.active_fraction = static_cast<double>(d_opera - 1) / d_opera;
-    rp.duty_cycle = 0.9;
-    const double opera_theta = std::min(
-        1.0, opera::fluid::rotor_throughput(make_workload(wl, opera_racks, d_opera, 7),
-                                            rp));
-    for (const double alpha : alphas) {
-      const int u_e = CostModel::expander_uplinks(alpha, k);
-      const int d_e = k - u_e;
-      const int racks_e = static_cast<int>(hosts / d_e);
-      opera::sim::Rng rng(19);
-      const auto g = opera::topo::random_regular_graph(racks_e, u_e, rng);
-      const double exp_theta = std::min(
-          1.0, opera::fluid::expander_throughput(make_workload(wl, racks_e, d_e, 7),
-                                                 g, kRate));
-      const double f = CostModel::clos_oversubscription(alpha);
-      const double clos_theta = std::min(
-          1.0, opera::fluid::clos_throughput(make_workload(wl, opera_racks, d_opera, 7),
-                                             d_opera, kRate, f));
-      std::printf("  %-7.2f %-12.3f %-12.3f %-12.3f\n", alpha, opera_theta, exp_theta,
-                  clos_theta);
-    }
-  }
-  std::printf("\nPaper shape: near-identical to Figure 12 — cost-normalized\n"
-              "performance is almost independent of network scale.\n");
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex("Figure 15: throughput vs cost factor alpha (k=12)",
+                            argc, argv);
+  opera::exp::run_cost_sweep(ex, 12, /*rng_seed=*/19);
+  ex.report().note(
+      "Paper shape: near-identical to Figure 12 — cost-normalized\n"
+      "performance is almost independent of network scale.");
   return 0;
 }

@@ -6,10 +6,10 @@
 // is a union of u-1 disjoint random matchings, generated directly rather
 // than via a full N-matching factorization (statistically identical, and
 // O(N u) instead of O(N^3)).
-#include <cstdio>
+#include <span>
 
-#include "bench_common.h"
 #include "core/cost_model.h"
+#include "exp/experiment.h"
 #include "topo/one_factorization.h"
 #include "topo/random_regular.h"
 
@@ -32,36 +32,38 @@ double opera_slice_avg_path(opera::topo::Vertex n, int count, opera::sim::Rng& r
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = opera::bench::has_flag(argc, argv, "--full");
-  opera::bench::banner("Figure 16: average path length vs ToR radix");
+  opera::exp::Experiment ex("Figure 16: average path length vs ToR radix", argc,
+                            argv);
   using opera::core::CostModel;
 
   const int radices_quick[] = {12, 24, 36};
   const int radices_full[] = {12, 24, 36, 48};
-  const auto radices = full ? std::span<const int>(radices_full)
-                            : std::span<const int>(radices_quick);
+  const auto radices = ex.full() ? std::span<const int>(radices_full)
+                                 : std::span<const int>(radices_quick);
   const double alphas[] = {1.0, 1.4, 2.0, 3.0};
 
-  std::printf("%-5s %-9s %-12s", "k", "hosts", "Opera");
-  for (const double a : alphas) std::printf(" exp(a=%.1f)", a);
-  std::printf("\n");
-
+  auto& table = ex.report().table(
+      "avg_path",
+      {"k", "hosts", "opera", "exp_a1.0", "exp_a1.4", "exp_a2.0", "exp_a3.0"});
   for (const int k : radices) {
     const auto hosts = CostModel::clos_hosts(k, 3.0);
     const auto opera_racks = static_cast<opera::topo::Vertex>(CostModel::opera_racks(k));
     opera::sim::Rng rng(5);
     const double opera_avg =
-        opera_slice_avg_path(opera_racks, k / 2 - 1, rng, full ? 3 : 1);
-    std::printf("%-5d %-9lld %-12.2f", k, static_cast<long long>(hosts), opera_avg);
+        opera_slice_avg_path(opera_racks, k / 2 - 1, rng, ex.full() ? 3 : 1);
+    std::vector<opera::exp::Value> row = {static_cast<std::int64_t>(k),
+                                          static_cast<std::int64_t>(hosts),
+                                          opera::exp::Value(opera_avg, 2)};
     for (const double a : alphas) {
       const int u_e = CostModel::expander_uplinks(a, k);
       const auto racks_e = static_cast<opera::topo::Vertex>(hosts / (k - u_e));
       const auto g = opera::topo::random_regular_graph(racks_e, u_e, rng);
-      std::printf(" %-10.2f", opera::topo::all_pairs_path_stats(g).average);
+      row.emplace_back(opera::topo::all_pairs_path_stats(g).average, 2);
     }
-    std::printf("\n");
+    table.row(std::move(row));
   }
-  std::printf("\nPaper shape: averages converge toward ~3 hops at scale and Opera\n"
-              "tracks the alpha=1 expander closely (Fig. 16's curves).\n");
+  ex.report().note(
+      "Paper shape: averages converge toward ~3 hops at scale and Opera\n"
+      "tracks the alpha=1 expander closely (Fig. 16's curves).");
   return 0;
 }

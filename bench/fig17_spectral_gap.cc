@@ -1,21 +1,22 @@
 // Figure 17 (Appendix D): spectral gap vs average/worst path length for
 // Opera's topology slices and for static expanders with u=5..8, all at
 // k=12 ToRs and ~650 hosts.
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "topo/opera_topology.h"
 #include "topo/random_regular.h"
 #include "topo/spectral.h"
 
 int main(int argc, char** argv) {
-  const bool full = opera::bench::has_flag(argc, argv, "--full");
-  opera::bench::banner("Figure 17: spectral gap vs path length (k=12, ~650 hosts)");
+  opera::exp::Experiment ex(
+      "Figure 17: spectral gap vs path length (k=12, ~650 hosts)", argc, argv);
   using namespace opera::topo;
 
   // Static expanders: u uplinks, d = 12-u hosts/ToR, racks ~ 648/d.
-  std::printf("%-22s %-8s %-12s %-10s %-10s\n", "network", "racks", "spectral gap",
-              "avg path", "worst path");
+  auto& table = ex.report().table(
+      "spectral", {"network", "racks", "spectral_gap", "avg_path", "worst_path"});
   for (const int u : {5, 6, 7, 8}) {
     const int d = 12 - u;
     const auto racks = static_cast<Vertex>((648 + d - 1) / d);
@@ -23,8 +24,11 @@ int main(int argc, char** argv) {
     const Graph g = random_regular_graph(racks, u, rng);
     const auto info = spectral_info(g);
     const auto stats = all_pairs_path_stats(g);
-    std::printf("static u=%d            %-8d %-12.2f %-10.2f %-10d\n", u, racks,
-                info.gap, stats.average, static_cast<int>(stats.worst));
+    char name[24];
+    std::snprintf(name, sizeof name, "static u=%d", u);
+    table.row({name, static_cast<std::int64_t>(racks),
+               opera::exp::Value(info.gap, 2), opera::exp::Value(stats.average, 2),
+               static_cast<std::int64_t>(stats.worst)});
   }
 
   // Opera: one data point per topology slice (sampled unless --full).
@@ -33,7 +37,7 @@ int main(int argc, char** argv) {
   p.num_switches = 6;
   p.seed = 1;
   const OperaTopology topo(p);
-  const int step = full ? 1 : 9;
+  const int step = ex.full() ? 1 : 9;
   double gap_min = 1e9;
   double gap_max = 0.0;
   double gap_sum = 0.0;
@@ -51,12 +55,17 @@ int main(int argc, char** argv) {
     worst_max = std::max(worst_max, static_cast<int>(stats.worst));
     ++count;
   }
-  std::printf("Opera slices (n=%d)    %-8d gap %.2f..%.2f (mean %.2f)  avg path %.2f"
-              "  worst %d\n",
-              count, 108, gap_min, gap_max, gap_sum / count, avg_sum / count,
-              worst_max);
-  std::printf("\nPaper shape: path length is not a strong function of spectral gap;\n"
-              "Opera's slices sit near the best achievable average path length\n"
-              "despite the disjoint-matching constraint (Appendix D).\n");
+  auto& opera_table = ex.report().table(
+      "opera_slices",
+      {"slices", "racks", "gap_min", "gap_max", "gap_mean", "avg_path", "worst_path"});
+  opera_table.row({static_cast<std::int64_t>(count), 108,
+                   opera::exp::Value(gap_min, 2), opera::exp::Value(gap_max, 2),
+                   opera::exp::Value(gap_sum / count, 2),
+                   opera::exp::Value(avg_sum / count, 2),
+                   static_cast<std::int64_t>(worst_max)});
+  ex.report().note(
+      "Paper shape: path length is not a strong function of spectral gap;\n"
+      "Opera's slices sit near the best achievable average path length\n"
+      "despite the disjoint-matching constraint (Appendix D).");
   return 0;
 }

@@ -1,14 +1,13 @@
 // Figure 18: Opera average and worst-case path lengths under link / ToR /
 // circuit-switch failures (finite paths only; Fig. 11 reports the
 // disconnected pairs).
-#include <cstdio>
-
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "topo/failures.h"
 
-int main() {
-  opera::bench::banner(
-      "Figure 18: Opera path lengths under failures (108 racks, 6 switches)");
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex(
+      "Figure 18: Opera path lengths under failures (108 racks, 6 switches)",
+      argc, argv);
   using namespace opera::topo;
 
   OperaParams p;
@@ -25,16 +24,19 @@ int main() {
                {FailureKind::kTor, "ToRs"},
                {FailureKind::kCircuitSwitch, "circuit switches"}};
 
+  auto& table = ex.report().table(
+      "path_lengths", {"failed_kind", "failed_pct", "avg_path", "worst_path"});
   for (const auto& [kind, label] : kinds) {
-    std::printf("\nFailed %-16s  avg path (hops)   worst path (hops)\n", label);
     for (const double f : fractions) {
       opera::sim::Rng rng(2000 + static_cast<std::uint64_t>(f * 1000));
       const auto report = analyze_opera_failures(topo, kind, f, rng);
-      std::printf("  %5.1f%%             %6.2f            %3d\n", f * 100.0,
-                  report.avg_path_length, report.worst_path_length);
+      table.row({label, opera::exp::Value(f * 100.0, 1),
+                 opera::exp::Value(report.avg_path_length, 2),
+                 static_cast<std::int64_t>(report.worst_path_length)});
     }
   }
-  std::printf("\nPaper shape: graceful stretch — average stays near 3.3 hops and the\n"
-              "worst case grows only at heavy failure rates.\n");
+  ex.report().note(
+      "Paper shape: graceful stretch — average stays near 3.3 hops and the\n"
+      "worst case grows only at heavy failure rates.");
   return 0;
 }

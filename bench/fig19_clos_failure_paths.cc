@@ -1,12 +1,11 @@
 // Figure 19: folded-Clos connectivity loss and path lengths under link and
 // switch failures (648-host 3:1 Clos, k=12).
-#include <cstdio>
-
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "topo/failures.h"
 
-int main() {
-  opera::bench::banner("Figure 19: 3:1 folded-Clos under failures (648 hosts)");
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex("Figure 19: 3:1 folded-Clos under failures (648 hosts)",
+                            argc, argv);
   using namespace opera::topo;
 
   ClosParams p;
@@ -21,17 +20,21 @@ int main() {
   } kinds[] = {{FailureKind::kLink, "links"},
                {FailureKind::kCircuitSwitch, "switches (agg+core)"}};
 
+  auto& table = ex.report().table(
+      "failures",
+      {"failed_kind", "failed_pct", "conn_loss", "avg_path", "worst_path"});
   for (const auto& [kind, label] : kinds) {
-    std::printf("\nFailed %-20s  conn. loss   avg path   worst path\n", label);
     for (const double f : fractions) {
       opera::sim::Rng rng(3000 + static_cast<std::uint64_t>(f * 1000));
       const auto report = analyze_clos_failures(clos, kind, f, rng);
-      std::printf("  %5.1f%%                 %8.4f    %6.2f      %3d\n", f * 100.0,
-                  report.worst_slice_connectivity_loss, report.avg_path_length,
-                  report.worst_path_length);
+      table.row({label, opera::exp::Value(f * 100.0, 1),
+                 opera::exp::Value(report.worst_slice_connectivity_loss, 4),
+                 opera::exp::Value(report.avg_path_length, 2),
+                 static_cast<std::int64_t>(report.worst_path_length)});
     }
   }
-  std::printf("\nPaper shape: the 3:1 Clos loses ToR-pair connectivity sooner than\n"
-              "Opera (ToRs have only 3 uplinks) and paths stay at 2/4 hops.\n");
+  ex.report().note(
+      "Paper shape: the 3:1 Clos loses ToR-pair connectivity sooner than\n"
+      "Opera (ToRs have only 3 uplinks) and paths stay at 2/4 hops.");
   return 0;
 }

@@ -1,12 +1,11 @@
 // Figure 20: u=7 static expander connectivity loss and path lengths under
 // link and ToR failures (650 hosts: 130 racks x 5).
-#include <cstdio>
-
-#include "bench_common.h"
+#include "exp/experiment.h"
 #include "topo/failures.h"
 
-int main() {
-  opera::bench::banner("Figure 20: u=7 expander under failures (650 hosts)");
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex("Figure 20: u=7 expander under failures (650 hosts)",
+                            argc, argv);
   using namespace opera::topo;
 
   ExpanderParams p;
@@ -22,17 +21,21 @@ int main() {
     const char* label;
   } kinds[] = {{FailureKind::kLink, "links"}, {FailureKind::kTor, "ToRs"}};
 
+  auto& table = ex.report().table(
+      "failures",
+      {"failed_kind", "failed_pct", "conn_loss", "avg_path", "worst_path"});
   for (const auto& [kind, label] : kinds) {
-    std::printf("\nFailed %-8s  conn. loss   avg path   worst path\n", label);
     for (const double f : fractions) {
       opera::sim::Rng rng(4000 + static_cast<std::uint64_t>(f * 1000));
       const auto report = analyze_expander_failures(expander, kind, f, rng);
-      std::printf("  %5.1f%%     %8.4f    %6.2f      %3d\n", f * 100.0,
-                  report.worst_slice_connectivity_loss, report.avg_path_length,
-                  report.worst_path_length);
+      table.row({label, opera::exp::Value(f * 100.0, 1),
+                 opera::exp::Value(report.worst_slice_connectivity_loss, 4),
+                 opera::exp::Value(report.avg_path_length, 2),
+                 static_cast<std::int64_t>(report.worst_path_length)});
     }
   }
-  std::printf("\nPaper shape: the u=7 expander is the most fault tolerant of the\n"
-              "three networks (more links and higher ToR fanout than Opera).\n");
+  ex.report().note(
+      "Paper shape: the u=7 expander is the most fault tolerant of the\n"
+      "three networks (more links and higher ToR fanout than Opera).");
   return 0;
 }

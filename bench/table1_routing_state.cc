@@ -2,22 +2,23 @@
 // datacenter size. Entries = N(N-1) low-latency rules (per-slice,
 // per-destination) + N(u-1) bulk rules (per-slice direct circuits),
 // validated against a concrete OperaTopology's actual forwarding state.
-#include <cstdio>
-
-#include "bench_common.h"
 #include "core/routing_state.h"
+#include "exp/experiment.h"
 #include "topo/opera_topology.h"
 
-int main() {
-  opera::bench::banner("Table 1: routing state vs datacenter size");
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex("Table 1: routing state vs datacenter size", argc,
+                            argv);
   using opera::core::RoutingStateModel;
 
-  std::printf("%-8s %-8s %-12s %-14s\n", "#Racks", "k", "#Entries", "%Utilization");
+  auto& table = ex.report().table(
+      "routing_state", {"racks", "k", "entries", "utilization_pct"});
   for (const auto& row : RoutingStateModel::kPaperRows) {
     const auto entries = RoutingStateModel::total_entries(row.racks, row.radix / 2);
-    std::printf("%-8lld %-8d %-12lld %-14.1f\n", static_cast<long long>(row.racks),
-                row.radix, static_cast<long long>(entries),
-                RoutingStateModel::utilization_percent(entries));
+    table.row({static_cast<std::int64_t>(row.racks),
+               static_cast<std::int64_t>(row.radix),
+               static_cast<std::int64_t>(entries),
+               opera::exp::Value(RoutingStateModel::utilization_percent(entries), 1)});
   }
 
   // Cross-check the counting argument against a real topology: in every
@@ -39,11 +40,13 @@ int main() {
       if (topo.circuit_peer(sw, 0, s) != 0) ++bulk_rules;
     }
   }
-  std::printf("\nCross-check (108 racks, per-ToR): model %lld entries, "
-              "topology walk %lld entries\n",
-              static_cast<long long>(RoutingStateModel::total_entries(108, 6)),
-              ll_rules + bulk_rules);
-  std::printf("Paper: 12,096 entries / 0.7%% at 108 racks up to 1,461,600 / 85.9%%\n"
-              "at 1200 racks — today's hardware holds Opera's rules.\n");
+  auto& check = ex.report().table(
+      "cross_check", {"racks", "model_entries", "topology_walk_entries"});
+  check.row({108,
+             static_cast<std::int64_t>(RoutingStateModel::total_entries(108, 6)),
+             static_cast<std::int64_t>(ll_rules + bulk_rules)});
+  ex.report().note(
+      "Paper: 12,096 entries / 0.7%% at 108 racks up to 1,461,600 / 85.9%%\n"
+      "at 1200 racks — today's hardware holds Opera's rules.");
   return 0;
 }

@@ -1,35 +1,34 @@
 // Table 2: per-port cost of a static network vs Opera, and the resulting
 // default cost factor alpha ~ 1.3 (Appendix A).
-#include <cstdio>
-
-#include "bench_common.h"
 #include "core/cost_model.h"
+#include "exp/experiment.h"
 
-int main() {
-  opera::bench::banner("Table 2: cost per port (static vs Opera)");
+int main(int argc, char** argv) {
+  opera::exp::Experiment ex("Table 2: cost per port (static vs Opera)", argc, argv);
   opera::core::PortCostBreakdown c;
+  using opera::exp::Value;
 
-  std::printf("%-26s %-10s %-10s\n", "Component", "Static", "Opera");
-  std::printf("%-26s $%-9.0f $%-9.0f\n", "SR transceiver", c.sr_transceiver,
-              c.sr_transceiver);
-  std::printf("%-26s $%-9.0f $%-9.0f\n", "Optical fiber ($0.3/m)", c.optical_fiber,
-              c.optical_fiber);
-  std::printf("%-26s $%-9.0f $%-9.0f\n", "ToR port", c.tor_port, c.tor_port);
-  std::printf("%-26s %-10s $%-9.0f\n", "Optical fiber array", "-", c.fiber_array);
-  std::printf("%-26s %-10s $%-9.0f\n", "Optical lenses", "-", c.optical_lenses);
-  std::printf("%-26s %-10s $%-9.0f\n", "Beam-steering element", "-", c.beam_steering);
-  std::printf("%-26s %-10s $%-9.0f\n", "Optical mapping", "-", c.optical_mapping);
-  std::printf("%-26s $%-9.0f $%-9.0f\n", "Total", c.static_port(), c.opera_port());
-  std::printf("%-26s %-10.2f %-10.2f\n", "alpha ratio", 1.0, c.alpha());
+  auto& table = ex.report().table("cost", {"component", "static_usd", "opera_usd"});
+  table.row({"SR transceiver", Value(c.sr_transceiver, 0), Value(c.sr_transceiver, 0)});
+  table.row({"Optical fiber ($0.3/m)", Value(c.optical_fiber, 0),
+             Value(c.optical_fiber, 0)});
+  table.row({"ToR port", Value(c.tor_port, 0), Value(c.tor_port, 0)});
+  table.row({"Optical fiber array", "-", Value(c.fiber_array, 0)});
+  table.row({"Optical lenses", "-", Value(c.optical_lenses, 0)});
+  table.row({"Beam-steering element", "-", Value(c.beam_steering, 0)});
+  table.row({"Optical mapping", "-", Value(c.optical_mapping, 0)});
+  table.row({"Total", Value(c.static_port(), 0), Value(c.opera_port(), 0)});
+  table.row({"alpha ratio", Value(1.0, 2), Value(c.alpha(), 2)});
 
-  std::printf("\nDerived cost-equivalent configurations:\n");
   using opera::core::CostModel;
+  auto& derived = ex.report().table(
+      "cost_equivalent", {"alpha", "clos_oversubscription", "expander_uplinks_k12"});
   for (const double alpha : {1.0, 4.0 / 3.0, 1.4, 2.0}) {
-    std::printf("  alpha=%.2f: Clos F=%.1f:1, expander u=%d (k=12)\n", alpha,
-                CostModel::clos_oversubscription(alpha),
-                CostModel::expander_uplinks(alpha, 12));
+    derived.row({Value(alpha, 2), Value(CostModel::clos_oversubscription(alpha), 1),
+                 static_cast<std::int64_t>(CostModel::expander_uplinks(alpha, 12))});
   }
-  std::printf("\nPaper: Opera port ~$275 vs static ~$215 -> alpha ~ 1.3 (rotor\n"
-              "components amortized over 512-port switches).\n");
+  ex.report().note(
+      "Paper: Opera port ~$275 vs static ~$215 -> alpha ~ 1.3 (rotor\n"
+      "components amortized over 512-port switches).");
   return 0;
 }

@@ -2,19 +2,24 @@
 // few uplinks mid-run and watch the fabric reconverge — traffic keeps
 // flowing over the surviving expander because every slice is still
 // connected, and routing tables are recomputed within a cycle.
+//
+// Fault injection is Opera-specific, so this example builds the concrete
+// OperaNetwork from the lowered FabricConfig and drives it through the
+// shared core::Network interface.
 #include <cstdio>
 
-#include "core/opera_network.h"
+#include "core/fabric.h"
 
 int main() {
   using namespace opera;
 
-  core::OperaConfig cfg;
-  cfg.topology.num_racks = 24;
-  cfg.topology.num_switches = 6;  // u=6: tolerates a whole switch failing
-  cfg.topology.hosts_per_rack = 4;
-  cfg.topology.seed = 4;
-  core::OperaNetwork net(cfg);
+  auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+  cfg.opera.num_racks = 24;
+  cfg.opera.num_switches = 6;  // u=6: tolerates a whole switch failing
+  cfg.opera.hosts_per_rack = 4;
+  cfg.opera.seed = 4;
+  core::OperaNetwork opera_net(cfg.opera_config());
+  core::Network& net = opera_net;
 
   // A steady stream of small flows before, during and after the failures.
   sim::Rng rng(13);
@@ -27,17 +32,17 @@ int main() {
   }
 
   // t = 5 ms: rotor switch 2 dies. t = 10 ms: rack 3 loses two uplinks.
-  net.sim().schedule_at(sim::Time::ms(5), [&net] {
+  net.sim().schedule_at(sim::Time::ms(5), [&opera_net] {
     std::printf("[t=5ms] injecting circuit-switch failure (switch 2)\n");
-    net.inject_switch_failure(2);
+    opera_net.inject_switch_failure(2);
   });
-  net.sim().schedule_at(sim::Time::ms(10), [&net] {
+  net.sim().schedule_at(sim::Time::ms(10), [&opera_net] {
     std::printf("[t=10ms] injecting uplink failures (rack 3 -> switches 0, 4)\n");
-    net.inject_uplink_failure(3, 0);
-    net.inject_uplink_failure(3, 4);
+    opera_net.inject_uplink_failure(3, 0);
+    opera_net.inject_uplink_failure(3, 4);
   });
 
-  net.run_until(sim::Time::ms(60));
+  net.run_to_completion(sim::Time::ms(60));
 
   std::printf("\nflows completed: %zu/%d\n", net.tracker().completed(), total_flows);
   const auto fct = net.tracker().fct_us(0, 1LL << 62);

@@ -4,32 +4,32 @@
 // tens of megabytes per host over the same links.
 #include <cstdio>
 
-#include "core/opera_network.h"
+#include "core/fabric.h"
 #include "sim/stats.h"
 
 int main() {
   using namespace opera;
 
-  core::OperaConfig cfg;
-  cfg.topology.num_racks = 16;
-  cfg.topology.num_switches = 4;
-  cfg.topology.hosts_per_rack = 4;
-  cfg.topology.seed = 3;
-  core::OperaNetwork net(cfg);
+  auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+  cfg.opera.num_racks = 16;
+  cfg.opera.num_switches = 4;
+  cfg.opera.hosts_per_rack = 4;
+  cfg.opera.seed = 3;
+  const auto net = core::NetworkFactory::build(cfg);
 
   // Background: every rack streams a 30 MB backup to the "archive" rack's
   // hosts (skewed bulk load -> exercises RotorLB's two-hop VLB).
-  for (int r = 1; r < net.num_racks(); ++r) {
+  for (int r = 1; r < net->num_racks(); ++r) {
     const auto src = static_cast<std::int32_t>(r * 4);
     const auto dst = static_cast<std::int32_t>(r % 4);  // spread over rack 0's hosts
-    net.submit_flow(src, dst, 30'000'000, sim::Time::zero(),
-                    net::TrafficClass::kBulk);
+    net->submit_flow(src, dst, 30'000'000, sim::Time::zero(),
+                     net::TrafficClass::kBulk);
   }
 
   // Foreground: 2000 8KB RPCs at 50 us spacing between random host pairs.
   sim::Rng rng(11);
   sim::PercentileSampler rpc_fct;
-  net.tracker().set_completion_hook([&](const transport::FlowRecord& rec) {
+  net->tracker().set_completion_hook([&](const transport::FlowRecord& rec) {
     if (rec.flow.tclass == net::TrafficClass::kLowLatency) {
       rpc_fct.add(rec.fct().to_us());
     }
@@ -38,10 +38,10 @@ int main() {
     const auto src = static_cast<std::int32_t>(rng.index(64));
     auto dst = static_cast<std::int32_t>(rng.index(64));
     if (dst == src) dst = (dst + 1) % 64;
-    net.submit_flow(src, dst, 8'000, sim::Time::us(50 * i));
+    net->submit_flow(src, dst, 8'000, sim::Time::us(50 * i));
   }
 
-  net.run_until(sim::Time::ms(200));
+  net->run_to_completion(sim::Time::ms(200));
 
   std::printf("RPCs completed: %zu/2000\n", rpc_fct.count());
   if (!rpc_fct.empty()) {
@@ -50,11 +50,15 @@ int main() {
                 rpc_fct.percentile(99));
   }
   std::printf("bulk backups completed: %zu/15\n",
-              net.tracker().completed() - rpc_fct.count());
-  const auto stats = net.tor_stats();
-  std::printf("in-network: %llu trims, %llu drops (NDP/RotorLB recovered them)\n",
-              static_cast<unsigned long long>(stats.trims),
-              static_cast<unsigned long long>(stats.drops));
+              net->tracker().completed() - rpc_fct.count());
+  // Fabric-specific statistics stay on the concrete class; the factory
+  // hands back the interface, so downcast when you need them.
+  if (const auto* opera_net = dynamic_cast<core::OperaNetwork*>(net.get())) {
+    const auto stats = opera_net->tor_stats();
+    std::printf("in-network: %llu trims, %llu drops (NDP/RotorLB recovered them)\n",
+                static_cast<unsigned long long>(stats.trims),
+                static_cast<unsigned long long>(stats.drops));
+  }
   std::printf("\nStrict priority + expander paths keep RPC tails in the tens of\n"
               "microseconds while the same links carry the bulk backup through\n"
               "time-varying direct circuits.\n");

@@ -1,52 +1,58 @@
-// Quickstart: build a small Opera network, send a latency-sensitive flow
-// and a bulk flow, and read back flow completion times.
+// Quickstart: build a small Opera network through the fabric factory, send
+// a latency-sensitive flow and a bulk flow, and read back completion times.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/example_quickstart
 //
 // This is the smallest end-to-end use of the public API:
-//   OperaConfig -> OperaNetwork -> submit_flow -> run_until -> tracker().
+//   FabricConfig -> NetworkFactory -> Network& -> submit_flow ->
+//   run_to_completion -> tracker().
 #include <cstdio>
 
-#include "core/opera_network.h"
+#include "core/fabric.h"
 
 int main() {
   using namespace opera;
 
   // A 16-rack Opera fabric: 4 rotor circuit switches, 4 hosts per rack
   // (ToR radix 8, provisioned 1:1), 10 Gb/s links, ~99 us topology slices.
-  core::OperaConfig cfg;
-  cfg.topology.num_racks = 16;
-  cfg.topology.num_switches = 4;
-  cfg.topology.hosts_per_rack = 4;
-  cfg.topology.seed = 1;
+  // Swapping kOpera for kFoldedClos / kExpander / kRotorNet builds any of
+  // the paper's other fabrics behind the same interface.
+  auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+  cfg.opera.num_racks = 16;
+  cfg.opera.num_switches = 4;
+  cfg.opera.hosts_per_rack = 4;
+  cfg.opera.seed = 1;
 
-  core::OperaNetwork net(cfg);
-  std::printf("built Opera network: %d hosts in %d racks, cycle time %s\n",
-              net.num_hosts(), net.num_racks(),
-              cfg.cycle_time().to_string().c_str());
+  const auto net = core::NetworkFactory::build(cfg);
+  std::printf("built %s: %d hosts in %d racks\n", net->describe().c_str(),
+              net->num_hosts(), net->num_racks());
 
   // A short, latency-sensitive flow (< 15 MB threshold): forwarded
   // immediately over multi-hop expander paths.
-  const auto rpc = net.submit_flow(/*src_host=*/0, /*dst_host=*/60,
-                                   /*size_bytes=*/20'000, sim::Time::zero());
+  const auto rpc = net->submit_flow(/*src_host=*/0, /*dst_host=*/60,
+                                    /*size_bytes=*/20'000, sim::Time::zero());
 
   // A bulk flow (>= 15 MB): buffered at the host and transmitted over
   // direct rack-to-rack circuits as the rotor switches provide them.
-  const auto transfer = net.submit_flow(/*src_host=*/1, /*dst_host=*/61,
-                                        /*size_bytes=*/25'000'000, sim::Time::zero());
+  const auto transfer = net->submit_flow(/*src_host=*/1, /*dst_host=*/61,
+                                         /*size_bytes=*/25'000'000,
+                                         sim::Time::zero());
 
-  net.run_until(sim::Time::ms(80));
+  // Stops as soon as both flows complete instead of running out the clock.
+  const auto status = net->run_to_completion(sim::Time::ms(80));
 
-  for (const auto& rec : net.tracker().completions()) {
+  for (const auto& rec : net->tracker().completions()) {
     std::printf("flow %llu (%s, %lld bytes): FCT = %s\n",
                 static_cast<unsigned long long>(rec.flow.id),
                 rec.flow.tclass == net::TrafficClass::kBulk ? "bulk" : "low-latency",
                 static_cast<long long>(rec.flow.size_bytes),
                 rec.fct().to_string().c_str());
   }
-  std::printf("flows completed: %zu/2 (ids %llu, %llu)\n",
-              net.tracker().completed(), static_cast<unsigned long long>(rpc),
-              static_cast<unsigned long long>(transfer));
+  std::printf("flows completed: %zu/2 (ids %llu, %llu); run ended at %s%s\n",
+              net->tracker().completed(), static_cast<unsigned long long>(rpc),
+              static_cast<unsigned long long>(transfer),
+              status.ended_at.to_string().c_str(),
+              status.stopped_early ? " (early)" : "");
   std::printf("\nThe low-latency flow finishes in tens of microseconds; the bulk\n"
               "flow rides tax-free direct circuits and finishes within a few\n"
               "rotor cycles at near host line rate.\n");

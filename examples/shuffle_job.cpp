@@ -4,28 +4,28 @@
 // Prints the job's delivered-bandwidth timeline and completion statistics.
 #include <cstdio>
 
-#include "core/opera_network.h"
+#include "core/fabric.h"
 #include "sim/stats.h"
 #include "workload/synthetic.h"
 
 int main() {
   using namespace opera;
 
-  core::OperaConfig cfg;
-  cfg.topology.num_racks = 16;
-  cfg.topology.num_switches = 4;
-  cfg.topology.hosts_per_rack = 4;
-  cfg.topology.seed = 2;
-  core::OperaNetwork net(cfg);
+  auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+  cfg.opera.num_racks = 16;
+  cfg.opera.num_switches = 4;
+  cfg.opera.hosts_per_rack = 4;
+  cfg.opera.seed = 2;
+  const auto net = core::NetworkFactory::build(cfg);
 
   sim::Rng rng(7);
-  const auto flows = workload::shuffle_workload(net.num_hosts(),
-                                                cfg.topology.hosts_per_rack,
+  const auto flows = workload::shuffle_workload(net->num_hosts(),
+                                                cfg.opera.hosts_per_rack,
                                                 /*flow_bytes=*/100'000,
                                                 /*stagger=*/sim::Time::zero(), rng);
 
   sim::ThroughputSeries timeline(sim::Time::ms(1));
-  net.tracker().set_delivery_hook(
+  net->tracker().set_delivery_hook(
       [&](const transport::Flow&, std::int64_t bytes, sim::Time at) {
         timeline.record(at, bytes);
       });
@@ -33,19 +33,19 @@ int main() {
   for (const auto& f : flows) {
     // Application-based tagging (§3.4): the framework knows its shuffle
     // blocks are bandwidth-bound even though each is only 100 KB.
-    net.submit_flow(f.src_host, f.dst_host, f.size_bytes, f.start,
-                    net::TrafficClass::kBulk);
+    net->submit_flow(f.src_host, f.dst_host, f.size_bytes, f.start,
+                     net::TrafficClass::kBulk);
   }
-  net.run_until(sim::Time::ms(60));
+  net->run_to_completion(sim::Time::ms(60));
 
   std::printf("shuffle: %zu flows x 100KB, %zu completed\n", flows.size(),
-              net.tracker().completed());
+              net->tracker().completed());
   std::printf("delivered Gb/s per ms: ");
   for (const auto& pt : timeline.series()) {
     std::printf("%.0f ", pt.bits_per_second / 1e9);
   }
   std::printf("\n");
-  auto fct = net.tracker().fct_us(0, 1LL << 62);
+  auto fct = net->tracker().fct_us(0, 1LL << 62);
   if (!fct.empty()) {
     std::printf("FCT p50 = %.2f ms, p99 = %.2f ms\n", fct.percentile(50) / 1e3,
                 fct.percentile(99) / 1e3);

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Record BENCH_BASELINE.json from a bench-results/ directory.
+
+Usage:
+    scripts/run_all_benches.sh build bench-results
+    scripts/record_bench_baseline.py bench-results > BENCH_BASELINE.json
+
+Captures, per bench: wall-clock seconds (from timings.txt) and, per table,
+the number of data rows — a cheap machine-readable fingerprint of each
+figure's output shape. Full outputs stay in bench-results/*.csv; CI
+uploads them as artifacts for value-level diffs.
+"""
+import json
+import pathlib
+import re
+import sys
+
+
+def parse_csv_tables(path: pathlib.Path):
+    tables = {}
+    current = None
+    for line in path.read_text().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        first = line.split(",", 1)[0]
+        if first == "table":
+            continue
+        current = first
+        tables[current] = tables.get(current, 0) + 1
+    return tables
+
+
+def main() -> int:
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench-results")
+    timings_file = results / "timings.txt"
+    if not timings_file.exists():
+        print(f"error: {timings_file} not found; run scripts/run_all_benches.sh first",
+              file=sys.stderr)
+        return 1
+
+    timings = {}
+    for line in timings_file.read_text().splitlines():
+        m = re.match(r"(\S+)\s+([\d.]+) s\s+(.*)", line)
+        if m:
+            timings[m.group(1)] = {"wall_s": float(m.group(2)),
+                                   "status": m.group(3).strip()}
+
+    baseline = {"preset": "release", "benches": {}}
+    for csv in sorted(results.glob("bench_*.csv")):
+        name = csv.stem
+        baseline["benches"][name] = {
+            "wall_s": timings.get(name, {}).get("wall_s"),
+            "table_rows": parse_csv_tables(csv),
+        }
+    json.dump(baseline, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Run every paper-figure/table benchmark and save its stdout under
-# bench-results/, one .txt per target, with wall-clock per bench recorded
-# in bench-results/timings.txt. Build first:
+# Run every paper-figure/table benchmark with --csv and save its output
+# under bench-results/, one .csv per target, with wall-clock per bench
+# recorded in bench-results/timings.txt. Build first:
 #   cmake --preset release && cmake --build --preset release -j
 # then:
-#   scripts/run_all_benches.sh [build-dir] [out-dir]
+#   scripts/run_all_benches.sh [build-dir] [out-dir] [extra bench args...]
+# e.g. `scripts/run_all_benches.sh build bench-results --full` for the
+# paper-scale runs. The CSV schema is documented in docs/BENCH_OUTPUT.md.
 set -euo pipefail
 
 build_dir="${1:-build}"
 out_dir="${2:-bench-results}"
+if [[ "$build_dir" == -* || "$out_dir" == -* ]]; then
+  echo "usage: $0 [build-dir] [out-dir] [extra bench args...]" >&2
+  echo "(flags like --full go after both positional args)" >&2
+  exit 1
+fi
+shift $(( $# > 2 ? 2 : $# )) || true
+extra_args=("$@")
 
 if [[ ! -d "$build_dir" ]]; then
   echo "error: build dir '$build_dir' not found (configure with the release preset first)" >&2
@@ -29,10 +38,17 @@ fi
 for bin in "${benches[@]}"; do
   [[ -x "$bin" ]] || continue
   name="$(basename "$bin")"
+  # bench_micro_core is a Google Benchmark binary with its own CLI/output.
+  args=(--csv "${extra_args[@]+"${extra_args[@]}"}")
+  ext=csv
+  if [[ "$name" == bench_micro_core ]]; then
+    args=()
+    ext=txt
+  fi
   echo "== $name"
   start=$(date +%s%N)
   status=ok rc=0
-  "$bin" > "$out_dir/$name.txt" 2> "$out_dir/$name.err" || rc=$?
+  "$bin" "${args[@]+"${args[@]}"}" > "$out_dir/$name.$ext" 2> "$out_dir/$name.err" || rc=$?
   if (( rc != 0 )); then
     status="FAILED (exit $rc)"
     failures=$((failures + 1))

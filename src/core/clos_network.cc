@@ -1,6 +1,7 @@
 #include "core/clos_network.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace opera::core {
 
@@ -118,6 +119,14 @@ std::uint64_t ClosNetwork::submit_flow(std::int32_t src_host, std::int32_t dst_h
     sources_.push_back(std::move(source));
   });
   return flow.id;
+}
+
+std::string ClosNetwork::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%d:1 folded Clos (k=%d, %d pods, %d hosts)",
+                config_.structure.oversubscription, config_.structure.radix,
+                clos_.num_pods(), num_hosts());
+  return buf;
 }
 
 }  // namespace opera::core

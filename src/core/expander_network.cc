@@ -1,6 +1,7 @@
 #include "core/expander_network.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace opera::core {
 
@@ -93,6 +94,14 @@ std::uint64_t ExpanderNetwork::submit_flow(std::int32_t src_host, std::int32_t d
     sources_.push_back(std::move(source));
   });
   return flow.id;
+}
+
+std::string ExpanderNetwork::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "static expander (%d ToRs, u=%d, d=%d, %d hosts)",
+                num_racks(), config_.structure.uplinks,
+                config_.structure.hosts_per_tor, num_hosts());
+  return buf;
 }
 
 }  // namespace opera::core

@@ -1,0 +1,200 @@
+#include "core/fabric.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace opera::core {
+
+const char* fabric_kind_name(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::kOpera: return "opera";
+    case FabricKind::kFoldedClos: return "clos";
+    case FabricKind::kExpander: return "expander";
+    case FabricKind::kRotorNet: return "rotornet";
+  }
+  return "unknown";
+}
+
+std::optional<FabricKind> parse_fabric_kind(std::string_view name) {
+  if (name == "opera") return FabricKind::kOpera;
+  if (name == "clos") return FabricKind::kFoldedClos;
+  if (name == "expander") return FabricKind::kExpander;
+  if (name == "rotornet") return FabricKind::kRotorNet;
+  return std::nullopt;
+}
+
+FabricConfig FabricConfig::make(FabricKind kind) {
+  FabricConfig cfg;
+  cfg.kind = kind;
+  return cfg;  // structure defaults are already the paper-scale presets
+}
+
+FabricConfig& FabricConfig::scale(std::int32_t racks, std::int32_t hosts_per_rack) {
+  const std::int32_t hosts = racks * hosts_per_rack;
+  switch (kind) {
+    case FabricKind::kOpera:
+      // The paper's 1:1 ToR provisioning: u = d = k/2 rotor switches, and
+      // the rack count must divide evenly among them.
+      opera.num_switches = hosts_per_rack;
+      opera.num_racks = ((racks + hosts_per_rack - 1) / hosts_per_rack) *
+                        hosts_per_rack;
+      opera.hosts_per_rack = hosts_per_rack;
+      break;
+    case FabricKind::kRotorNet: {
+      rotornet.num_switches =
+          rotornet.hybrid ? hosts_per_rack + 1 : hosts_per_rack;
+      const int rotors = hosts_per_rack;  // rotor switches carrying circuits
+      rotornet.num_racks = ((racks + rotors - 1) / rotors) * rotors;
+      rotornet_hosts_per_rack = hosts_per_rack;
+      break;
+    }
+    case FabricKind::kFoldedClos: {
+      // Match the 1:1-provisioned Opera ToR radix (k = 2d) at this scale,
+      // rounded up so radix splits integrally at the oversubscription
+      // ratio; then size pods to cover at least the same host count
+      // (capped at the radix-k maximum).
+      const int split = clos.oversubscription + 1;
+      clos.radix = ((std::max(2, 2 * hosts_per_rack) + split - 1) / split) * split;
+      const int pod_hosts = (clos.radix / 2) * clos.hosts_per_tor();
+      clos.num_pods = std::clamp((hosts + pod_hosts - 1) / pod_hosts, 2, clos.radix);
+      break;
+    }
+    case FabricKind::kExpander: {
+      // Trade one host port for one extra uplink at the same 1:1 ToR radix
+      // (u = d + 2 > k/2, the paper's u=7/d=5 against Opera's 6/6), then
+      // size the ToR count to cover the same host count.
+      expander.hosts_per_tor = std::max(1, hosts_per_rack - 1);
+      expander.uplinks = hosts_per_rack + 1;
+      expander.num_tors = (hosts + expander.hosts_per_tor - 1) / expander.hosts_per_tor;
+      // A u-regular graph needs an even degree sum.
+      if ((expander.num_tors * expander.uplinks) % 2 != 0) ++expander.num_tors;
+      break;
+    }
+  }
+  return *this;
+}
+
+std::int32_t FabricConfig::num_hosts() const {
+  switch (kind) {
+    case FabricKind::kOpera:
+      return static_cast<std::int32_t>(opera.num_hosts());
+    case FabricKind::kFoldedClos: {
+      const int pods = clos.num_pods > 0 ? clos.num_pods : clos.radix;
+      return pods * (clos.radix / 2) * clos.hosts_per_tor();
+    }
+    case FabricKind::kExpander:
+      return static_cast<std::int32_t>(expander.num_hosts());
+    case FabricKind::kRotorNet:
+      return static_cast<std::int32_t>(rotornet.num_racks) * rotornet_hosts_per_rack;
+  }
+  return 0;
+}
+
+std::int32_t FabricConfig::num_racks() const {
+  switch (kind) {
+    case FabricKind::kOpera:
+      return static_cast<std::int32_t>(opera.num_racks);
+    case FabricKind::kFoldedClos: {
+      const int pods = clos.num_pods > 0 ? clos.num_pods : clos.radix;
+      return pods * (clos.radix / 2);
+    }
+    case FabricKind::kExpander:
+      return static_cast<std::int32_t>(expander.num_tors);
+    case FabricKind::kRotorNet:
+      return static_cast<std::int32_t>(rotornet.num_racks);
+  }
+  return 0;
+}
+
+std::string FabricConfig::describe() const {
+  char buf[128];
+  switch (kind) {
+    case FabricKind::kOpera:
+      std::snprintf(buf, sizeof buf, "Opera (%d racks x %d hosts, %d rotors)",
+                    static_cast<int>(opera.num_racks), opera.hosts_per_rack,
+                    opera.num_switches);
+      break;
+    case FabricKind::kFoldedClos:
+      std::snprintf(buf, sizeof buf, "%d:1 folded Clos (k=%d, %d hosts)",
+                    clos.oversubscription, clos.radix, num_hosts());
+      break;
+    case FabricKind::kExpander:
+      std::snprintf(buf, sizeof buf, "static expander (%d ToRs, u=%d, d=%d)",
+                    static_cast<int>(expander.num_tors), expander.uplinks,
+                    expander.hosts_per_tor);
+      break;
+    case FabricKind::kRotorNet:
+      std::snprintf(buf, sizeof buf, "RotorNet%s (%d racks x %d hosts, %d switches)",
+                    rotornet.hybrid ? " hybrid" : "",
+                    static_cast<int>(rotornet.num_racks), rotornet_hosts_per_rack,
+                    rotornet.num_switches);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "unknown fabric");
+  }
+  return buf;
+}
+
+OperaConfig FabricConfig::opera_config() const {
+  OperaConfig cfg;
+  cfg.topology = opera;
+  cfg.link = link;
+  cfg.slice = slice;
+  cfg.ndp = ndp;
+  cfg.bulk_threshold_bytes = bulk_threshold_bytes;
+  cfg.enable_vlb = enable_vlb;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ClosNetConfig FabricConfig::clos_config() const {
+  ClosNetConfig cfg;
+  cfg.structure = clos;
+  cfg.link = link;
+  cfg.ndp = ndp;
+  cfg.bulk_threshold_bytes = bulk_threshold_bytes;
+  cfg.priority_queueing = priority_queueing;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ExpanderNetConfig FabricConfig::expander_config() const {
+  ExpanderNetConfig cfg;
+  cfg.structure = expander;
+  cfg.link = link;
+  cfg.ndp = ndp;
+  cfg.bulk_threshold_bytes = bulk_threshold_bytes;
+  cfg.priority_queueing = priority_queueing;
+  cfg.seed = seed;
+  return cfg;
+}
+
+RotorNetConfig FabricConfig::rotornet_config() const {
+  RotorNetConfig cfg;
+  cfg.structure = rotornet;
+  cfg.hosts_per_rack = rotornet_hosts_per_rack;
+  cfg.link = link;
+  cfg.slice = slice;
+  cfg.ndp = ndp;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::unique_ptr<Network> NetworkFactory::build(const FabricConfig& config) {
+  switch (config.kind) {
+    case FabricKind::kOpera:
+      return std::make_unique<OperaNetwork>(config.opera_config());
+    case FabricKind::kFoldedClos:
+      return std::make_unique<ClosNetwork>(config.clos_config());
+    case FabricKind::kExpander:
+      return std::make_unique<ExpanderNetwork>(config.expander_config());
+    case FabricKind::kRotorNet: {
+      auto net = std::make_unique<RotorNetNetwork>(config.rotornet_config());
+      net->bulk_threshold_bytes = config.bulk_threshold_bytes;
+      return net;
+    }
+  }
+  return std::make_unique<OperaNetwork>(config.opera_config());
+}
+
+}  // namespace opera::core

@@ -1,0 +1,95 @@
+// core::FabricConfig / core::NetworkFactory — one tagged configuration
+// that can describe any of the four evaluated fabrics, and the factory
+// that builds the matching core::Network.
+//
+// The per-fabric structure parameters (OperaParams, ClosParams, ...) keep
+// their own types; FabricConfig adds the knobs every fabric shares (link
+// rate, NDP, slice timing, bulk threshold, seeds) so an experiment can
+// sweep fabrics without re-stating them:
+//
+//   auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+//   cfg.scale(16, 4);                       // laptop-scale testbed
+//   auto net = core::NetworkFactory::build(cfg);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/clos_network.h"
+#include "core/config.h"
+#include "core/expander_network.h"
+#include "core/network.h"
+#include "core/opera_network.h"
+#include "core/rotornet_network.h"
+
+namespace opera::core {
+
+enum class FabricKind : std::uint8_t {
+  kOpera,       // rotor switches with offset reconfiguration (the paper's system)
+  kFoldedClos,  // 3-tier oversubscribed folded Clos (§5 baseline)
+  kExpander,    // static random u-regular expander (§5 baseline)
+  kRotorNet,    // synchronized rotor switches, optionally hybrid (§5 baseline)
+};
+
+// Stable lower-case name ("opera", "clos", "expander", "rotornet").
+[[nodiscard]] const char* fabric_kind_name(FabricKind kind);
+[[nodiscard]] std::optional<FabricKind> parse_fabric_kind(std::string_view name);
+
+struct FabricConfig {
+  FabricKind kind = FabricKind::kOpera;
+
+  // Structure of whichever fabric `kind` selects. Each carries its own
+  // topology seed; only the selected one is consulted by the factory.
+  topo::OperaParams opera;        // paper scale: 108 racks x 6 hosts, u=6
+  topo::ClosParams clos;          // paper scale: k=12, 3:1 -> 648 hosts
+  topo::ExpanderParams expander;  // paper scale: 130 ToRs, u=7, d=5
+  topo::RotorNetParams rotornet;  // paper scale: 108 racks, 6 switches
+  int rotornet_hosts_per_rack = 6;
+
+  // Shared knobs, applied to the selected fabric on build.
+  LinkParams link;
+  SliceParams slice;  // rotor-based fabrics only
+  transport::NdpConfig ndp;
+  std::int64_t bulk_threshold_bytes = 15'000'000;
+  bool priority_queueing = true;  // static fabrics: bulk rides a lower band
+  bool enable_vlb = true;         // Opera: RotorLB two-hop fallback
+  std::uint64_t seed = 42;        // network-level (non-topology) randomness
+
+  // Paper-scale defaults for `kind` (the structure defaults above).
+  [[nodiscard]] static FabricConfig make(FabricKind kind);
+
+  // Rescales the selected fabric to roughly `racks` x `hosts_per_rack`
+  // hosts while keeping its character (1:1-provisioned ToR radix
+  // k = 2 * hosts_per_rack throughout):
+  //  * Opera / RotorNet: u = d = hosts_per_rack rotor switches, rack count
+  //    rounded up so it divides evenly among them;
+  //  * folded Clos: radix 2d rounded to split at the oversubscription
+  //    ratio, pod count sized to cover the same host count;
+  //  * expander: one host port traded for an extra uplink (u = d + 2 >
+  //    k/2, the paper's u=7/d=5), ToR count sized to cover the same hosts.
+  // The canonical cost-equivalent testbeds used by the figures live in
+  // exp::Testbed; this helper is for ad-hoc scales (k=24 and beyond).
+  FabricConfig& scale(std::int32_t racks, std::int32_t hosts_per_rack);
+
+  // Host/rack counts the built network will report (no construction).
+  [[nodiscard]] std::int32_t num_hosts() const;
+  [[nodiscard]] std::int32_t num_racks() const;
+  [[nodiscard]] std::string describe() const;
+
+  // Lowered per-fabric configs (shared knobs folded in).
+  [[nodiscard]] OperaConfig opera_config() const;
+  [[nodiscard]] ClosNetConfig clos_config() const;
+  [[nodiscard]] ExpanderNetConfig expander_config() const;
+  [[nodiscard]] RotorNetConfig rotornet_config() const;
+};
+
+class NetworkFactory {
+ public:
+  // Builds the fabric `config.kind` selects. Never returns null.
+  [[nodiscard]] static std::unique_ptr<Network> build(const FabricConfig& config);
+};
+
+}  // namespace opera::core

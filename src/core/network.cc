@@ -1,0 +1,54 @@
+#include "core/network.h"
+
+#include "sim/event_queue.h"
+
+namespace opera::core {
+
+std::pair<std::int32_t, std::int32_t> remap_host_pair(std::int32_t src,
+                                                      std::int32_t dst,
+                                                      std::int32_t num_hosts) {
+  src %= num_hosts;
+  dst %= num_hosts;
+  if (dst == src) dst = (dst + 1) % num_hosts;
+  return {src, dst};
+}
+
+std::uint64_t Network::submit_remapped(std::int32_t src_host, std::int32_t dst_host,
+                                       std::int64_t size_bytes, sim::Time start,
+                                       std::optional<net::TrafficClass> force) {
+  const auto [src, dst] = remap_host_pair(src_host, dst_host, num_hosts());
+  return submit_flow(src, dst, size_bytes, start, force);
+}
+
+Network::RunStatus Network::run_with_progress(sim::Time horizon, sim::Time interval,
+                                              const ProgressHook& hook) {
+  RunStatus status{horizon, false};
+  // A self-rescheduling poll event. The closure captures locals by
+  // reference, so any copy still pending when we return must be cancelled.
+  sim::EventHandle pending;
+  std::function<void()> tick = [&] {
+    if (hook(*this)) {
+      status.stopped_early = true;
+      sim().stop();
+      return;
+    }
+    if (sim().now() + interval < horizon) {
+      pending = sim().schedule_in(interval, tick);
+    }
+  };
+  pending = sim().schedule_in(interval, tick);
+  run_until(horizon);
+  pending.cancel();
+  status.ended_at = sim().now();
+  return status;
+}
+
+Network::RunStatus Network::run_to_completion(sim::Time horizon,
+                                              sim::Time check_interval) {
+  return run_with_progress(horizon, check_interval, [](Network& net) {
+    const auto& tracker = net.tracker();
+    return tracker.registered() > 0 && tracker.completed() >= tracker.registered();
+  });
+}
+
+}  // namespace opera::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <numeric>
 
 namespace opera::core {
@@ -444,6 +445,14 @@ OperaNetwork::TorStats OperaNetwork::tor_stats() const {
     }
   }
   return stats;
+}
+
+std::string OperaNetwork::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "Opera (%d racks x %d hosts, %d rotors)",
+                num_racks(), config_.topology.hosts_per_rack,
+                config_.topology.num_switches);
+  return buf;
 }
 
 }  // namespace opera::core

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/network.h"
 #include "net/host.h"
 #include "net/switch.h"
 #include "sim/rng.h"
@@ -30,40 +31,42 @@
 
 namespace opera::core {
 
-class OperaNetwork {
+class OperaNetwork : public Network {
  public:
   explicit OperaNetwork(const OperaConfig& config);
-  ~OperaNetwork();
-
-  OperaNetwork(const OperaNetwork&) = delete;
-  OperaNetwork& operator=(const OperaNetwork&) = delete;
+  ~OperaNetwork() override;
 
   // Classifies by size against bulk_threshold_bytes unless `force` is
   // given (the paper's application-based tagging, §3.4), registers the
   // flow, and schedules its start. Returns the flow id.
-  std::uint64_t submit_flow(std::int32_t src_host, std::int32_t dst_host,
-                            std::int64_t size_bytes, sim::Time start,
-                            std::optional<net::TrafficClass> force = std::nullopt);
+  std::uint64_t submit_flow(
+      std::int32_t src_host, std::int32_t dst_host, std::int64_t size_bytes,
+      sim::Time start,
+      std::optional<net::TrafficClass> force = std::nullopt) override;
 
-  void run_until(sim::Time t);
+  void run_until(sim::Time t) override;
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] transport::FlowTracker& tracker() { return tracker_; }
+  [[nodiscard]] sim::Simulator& sim() override { return sim_; }
+  [[nodiscard]] transport::FlowTracker& tracker() override { return tracker_; }
+  [[nodiscard]] const transport::FlowTracker& tracker() const override {
+    return tracker_;
+  }
   [[nodiscard]] const OperaConfig& config() const { return config_; }
   [[nodiscard]] const topo::OperaTopology& topology() const { return topo_; }
-  [[nodiscard]] std::int32_t num_hosts() const {
+  [[nodiscard]] std::int32_t num_hosts() const override {
     return static_cast<std::int32_t>(hosts_.size());
   }
-  [[nodiscard]] std::int32_t num_racks() const { return topo_.num_racks(); }
+  [[nodiscard]] std::int32_t num_racks() const override { return topo_.num_racks(); }
   [[nodiscard]] net::Host& host(std::int32_t id) {
     return *hosts_[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] net::Switch& tor(std::int32_t rack) {
     return *tors_[static_cast<std::size_t>(rack)];
   }
-  [[nodiscard]] std::int32_t rack_of_host(std::int32_t host) const {
+  [[nodiscard]] std::int32_t rack_of_host(std::int32_t host) const override {
     return host / config_.topology.hosts_per_rack;
   }
+  [[nodiscard]] std::string describe() const override;
 
   // Slice index (within [0, num_slices)) active at time `t`.
   [[nodiscard]] int slice_at(sim::Time t) const;

@@ -1,6 +1,7 @@
 #include "core/rotornet_network.h"
 
 #include <cassert>
+#include <cstdio>
 #include <numeric>
 
 namespace opera::core {
@@ -263,6 +264,14 @@ std::uint64_t RotorNetNetwork::submit_flow(std::int32_t src_host, std::int32_t d
     }
   });
   return flow.id;
+}
+
+std::string RotorNetNetwork::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "RotorNet%s (%d racks x %d hosts, %d switches)",
+                config_.structure.hybrid ? " hybrid" : "", num_racks(),
+                config_.hosts_per_rack, config_.structure.num_switches);
+  return buf;
 }
 
 }  // namespace opera::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/network.h"
 #include "net/host.h"
 #include "net/switch.h"
 #include "sim/rng.h"
@@ -56,31 +57,39 @@ struct RotorNetConfig {
   }
 };
 
-class RotorNetNetwork {
+class RotorNetNetwork : public Network {
  public:
   explicit RotorNetNetwork(const RotorNetConfig& config);
 
   // Non-hybrid: every flow is bulk (RotorLB). Hybrid: flows are NDP
   // low-latency through the packet core unless bulk-classified (>= 15 MB
   // by default) or forced.
-  std::uint64_t submit_flow(std::int32_t src_host, std::int32_t dst_host,
-                            std::int64_t size_bytes, sim::Time start,
-                            std::optional<net::TrafficClass> force = std::nullopt);
+  std::uint64_t submit_flow(
+      std::int32_t src_host, std::int32_t dst_host, std::int64_t size_bytes,
+      sim::Time start,
+      std::optional<net::TrafficClass> force = std::nullopt) override;
 
-  void run_until(sim::Time t) { sim_.run_until(t); }
+  void run_until(sim::Time t) override { sim_.run_until(t); }
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] transport::FlowTracker& tracker() { return tracker_; }
+  [[nodiscard]] sim::Simulator& sim() override { return sim_; }
+  [[nodiscard]] transport::FlowTracker& tracker() override { return tracker_; }
+  [[nodiscard]] const transport::FlowTracker& tracker() const override {
+    return tracker_;
+  }
   [[nodiscard]] const RotorNetConfig& config() const { return config_; }
-  [[nodiscard]] std::int32_t num_hosts() const {
+  [[nodiscard]] std::int32_t num_hosts() const override {
     return static_cast<std::int32_t>(hosts_.size());
+  }
+  [[nodiscard]] std::int32_t num_racks() const override {
+    return static_cast<std::int32_t>(config_.structure.num_racks);
   }
   [[nodiscard]] net::Host& host(std::int32_t id) {
     return *hosts_[static_cast<std::size_t>(id)];
   }
-  [[nodiscard]] std::int32_t rack_of_host(std::int32_t host) const {
+  [[nodiscard]] std::int32_t rack_of_host(std::int32_t host) const override {
     return host / config_.hosts_per_rack;
   }
+  [[nodiscard]] std::string describe() const override;
   std::int64_t bulk_threshold_bytes = 15'000'000;
 
  private:

@@ -1,0 +1,16 @@
+// Shared harness for the paper's cost sweeps (Figs. 12 and 15):
+// throughput vs relative Opera port cost (alpha) at ToR radix k, for the
+// hotrack / skew[0.2,1] / permutation / all-to-all workloads, using the
+// fluid throughput models. New radices (k=24 scale-up and beyond) are
+// one-liners on top of this.
+#pragma once
+
+#include <cstdint>
+
+namespace opera::exp {
+
+class Experiment;
+
+void run_cost_sweep(Experiment& ex, int k, std::uint64_t rng_seed);
+
+}  // namespace opera::exp

@@ -1,0 +1,86 @@
+#include "exp/experiment.h"
+
+#include <chrono>
+
+#include "sim/stats.h"
+
+namespace opera::exp {
+
+const std::vector<SizeBucket>& fct_buckets() {
+  static const std::vector<SizeBucket> buckets = {
+      {0, 10'000, "<10KB"},
+      {10'000, 100'000, "10KB-100KB"},
+      {100'000, 1'000'000, "100KB-1MB"},
+      {1'000'000, 15'000'000, "1MB-15MB"},
+      {15'000'000, 1LL << 62, ">=15MB (bulk)"},
+  };
+  return buckets;
+}
+
+Experiment::Experiment(std::string name, int argc, char** argv)
+    : opts_(CliOptions::parse(argc, argv)),
+      report_(std::move(name), opts_.format) {}
+
+Experiment::RunResult Experiment::run(const std::string& label,
+                                      const core::FabricConfig& config,
+                                      const std::vector<workload::FlowSpec>& flows,
+                                      const RunOptions& opts) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  RunResult result;
+  result.label = label;
+  result.net = core::NetworkFactory::build(config);
+  if (opts.setup) opts.setup(*result.net);
+  for (const auto& f : flows) {
+    if (opts.remap) {
+      result.net->submit_remapped(f.src_host, f.dst_host, f.size_bytes, f.start,
+                                  opts.force_class);
+    } else {
+      result.net->submit_flow(f.src_host, f.dst_host, f.size_bytes, f.start,
+                              opts.force_class);
+    }
+    ++result.submitted;
+  }
+  if (opts.stop_when_done) {
+    result.status = result.net->run_to_completion(opts.horizon);
+  } else {
+    result.net->run_until(opts.horizon);
+    result.status = {opts.horizon, false};
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return result;
+}
+
+void Experiment::emit_fct_rows(const std::string& label, double load_pct,
+                               const core::Network& net) {
+  auto& table = report_.table(
+      "fct", {"fabric", "load_pct", "bucket", "flows", "p50_us", "p99_us"});
+  const auto& tracker = net.tracker();
+  for (const auto& bucket : fct_buckets()) {
+    const auto fct = tracker.fct_us(bucket.lo, bucket.hi);
+    if (fct.empty()) {
+      table.row({label, Value(load_pct, 0), bucket.label,
+                 static_cast<std::int64_t>(fct.count()), "-", "-"});
+      continue;
+    }
+    table.row({label, Value(load_pct, 0), bucket.label,
+               static_cast<std::int64_t>(fct.count()),
+               Value(fct.percentile(50), 1), Value(fct.percentile(99), 1)});
+  }
+}
+
+void Experiment::run_fct_sweep(const FctSweep& sweep) {
+  for (const double load : sweep.loads) {
+    const auto flows = sweep.make_flows(load);
+    for (const auto& fabric : sweep.fabrics) {
+      RunOptions opts;
+      opts.horizon = sweep.horizon;
+      opts.force_class = fabric.force_class;
+      const auto result = run(fabric.label, fabric.config, flows, opts);
+      emit_fct_rows(fabric.label, load * 100.0, *result.net);
+    }
+  }
+}
+
+}  // namespace opera::exp

@@ -1,0 +1,97 @@
+// exp::Experiment — the experiment driver the bench binaries run on.
+//
+// It owns what every per-figure binary used to re-implement by hand:
+// building fabrics through core::NetworkFactory, cross-fabric host-id
+// remapping, submission, early-stopped runs, and structured FCT emission.
+// A figure like Fig. 9 reduces to a declarative FctSweep (fabrics x loads
+// x workload); one-off scenarios use run() directly and query the
+// returned network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fabric.h"
+#include "exp/output.h"
+#include "exp/testbed.h"
+#include "sim/time.h"
+#include "workload/synthetic.h"
+
+namespace opera::exp {
+
+// Flow-size buckets for FCT-vs-size rows (log-spaced like the paper's
+// Fig. 7/9 x axes).
+struct SizeBucket {
+  std::int64_t lo;
+  std::int64_t hi;
+  const char* label;
+};
+[[nodiscard]] const std::vector<SizeBucket>& fct_buckets();
+
+class Experiment {
+ public:
+  // Parses --full / --csv / --json from argv and opens the report.
+  Experiment(std::string name, int argc, char** argv);
+
+  [[nodiscard]] bool full() const { return opts_.full; }
+  [[nodiscard]] const CliOptions& cli() const { return opts_; }
+  [[nodiscard]] Report& report() { return report_; }
+
+  struct RunOptions {
+    sim::Time horizon;
+    // Stop the run as soon as every submitted flow has completed instead
+    // of burning wall-clock to the horizon (identical completion stats).
+    bool stop_when_done = true;
+    // Remap workload host ids into the fabric's host range (the
+    // cross-fabric fixup; identity when host counts already match).
+    bool remap = true;
+    // Tag every submitted flow (application-based tagging, §3.4).
+    std::optional<net::TrafficClass> force_class;
+    // Runs after construction, before submission — install tracker hooks.
+    std::function<void(core::Network&)> setup;
+  };
+
+  struct RunResult {
+    std::string label;
+    std::unique_ptr<core::Network> net;  // kept alive for custom queries
+    std::size_t submitted = 0;
+    core::Network::RunStatus status;
+    double wall_seconds = 0.0;
+  };
+
+  // Builds the fabric, submits `flows`, runs to `opts.horizon` (early-
+  // stopping when done), and returns the network for inspection.
+  RunResult run(const std::string& label, const core::FabricConfig& config,
+                const std::vector<workload::FlowSpec>& flows,
+                const RunOptions& opts);
+
+  // Standard per-bucket FCT rows into table "fct":
+  //   fabric, load_pct, bucket, flows, p50_us, p99_us.
+  void emit_fct_rows(const std::string& label, double load_pct,
+                     const core::Network& net);
+
+  // A declarative figure: for each load (outer) and fabric (inner), run
+  // `make_flows(load)` and emit the standard FCT rows.
+  struct FabricSpec {
+    std::string label;
+    core::FabricConfig config;
+    std::optional<net::TrafficClass> force_class;
+  };
+  struct FctSweep {
+    std::vector<FabricSpec> fabrics;
+    std::vector<double> loads;  // fraction of aggregate host bandwidth
+    std::function<std::vector<workload::FlowSpec>(double load)> make_flows;
+    sim::Time horizon;
+  };
+  void run_fct_sweep(const FctSweep& sweep);
+
+ private:
+  CliOptions opts_;
+  Report report_;
+};
+
+}  // namespace opera::exp

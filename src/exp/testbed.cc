@@ -1,0 +1,66 @@
+#include "exp/testbed.h"
+
+namespace opera::exp {
+
+Testbed Testbed::quick() { return Testbed{}; }
+
+Testbed Testbed::paper() {
+  Testbed tb;
+  tb.racks = 108;
+  tb.switches = 6;
+  tb.hosts_per_rack = 6;
+  tb.clos_radix = 12;
+  tb.clos_pods = 12;
+  tb.expander_tors = 130;
+  tb.expander_uplinks = 7;
+  tb.expander_hosts_per_tor = 5;
+  return tb;
+}
+
+core::FabricConfig Testbed::opera() const {
+  auto cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+  cfg.opera.num_racks = racks;
+  cfg.opera.num_switches = switches;
+  cfg.opera.hosts_per_rack = hosts_per_rack;
+  cfg.opera.seed = topo_seed;
+  return cfg;
+}
+
+core::FabricConfig Testbed::clos() const {
+  auto cfg = core::FabricConfig::make(core::FabricKind::kFoldedClos);
+  cfg.clos.radix = clos_radix;
+  cfg.clos.oversubscription = clos_oversubscription;
+  cfg.clos.num_pods = clos_pods;
+  return cfg;
+}
+
+core::FabricConfig Testbed::expander() const {
+  auto cfg = core::FabricConfig::make(core::FabricKind::kExpander);
+  cfg.expander.num_tors = expander_tors;
+  cfg.expander.uplinks = expander_uplinks;
+  cfg.expander.hosts_per_tor = expander_hosts_per_tor;
+  cfg.expander.seed = topo_seed;
+  return cfg;
+}
+
+core::FabricConfig Testbed::rotornet(bool hybrid) const {
+  auto cfg = core::FabricConfig::make(core::FabricKind::kRotorNet);
+  cfg.rotornet.num_racks = racks;
+  cfg.rotornet.num_switches = hybrid ? switches + 1 : switches;
+  cfg.rotornet.hybrid = hybrid;
+  cfg.rotornet.seed = topo_seed;
+  cfg.rotornet_hosts_per_rack = hosts_per_rack;
+  return cfg;
+}
+
+core::FabricConfig Testbed::fabric(core::FabricKind kind) const {
+  switch (kind) {
+    case core::FabricKind::kOpera: return opera();
+    case core::FabricKind::kFoldedClos: return clos();
+    case core::FabricKind::kExpander: return expander();
+    case core::FabricKind::kRotorNet: return rotornet(false);
+  }
+  return opera();
+}
+
+}  // namespace opera::exp

@@ -1,0 +1,45 @@
+// The paper's cost-equivalent fabric family at a given scale, defined in
+// one place so every figure bench builds the same testbeds:
+//   paper(): 648-host scale (§5) — Opera 108x6 u=6, 3:1 Clos k=12,
+//            u=7 expander over 130 ToRs, RotorNet 108x6.
+//   quick(): the laptop-scale testbed the quick-mode benches always used —
+//            Opera 16x4 u=4, 3:1 Clos k=8 (4 pods), u=5 expander, 20 ToRs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fabric.h"
+
+namespace opera::exp {
+
+struct Testbed {
+  // Opera / RotorNet shape.
+  int racks = 16;
+  int switches = 4;
+  int hosts_per_rack = 4;
+  // Cost-equivalent 3:1 folded Clos.
+  int clos_radix = 8;
+  int clos_oversubscription = 3;
+  int clos_pods = 4;
+  // Cost-equivalent static expander (u > k/2).
+  int expander_tors = 20;
+  int expander_uplinks = 5;
+  int expander_hosts_per_tor = 3;
+
+  std::uint64_t topo_seed = 3;
+
+  [[nodiscard]] static Testbed quick();
+  [[nodiscard]] static Testbed paper();
+  [[nodiscard]] static Testbed select(bool full) { return full ? paper() : quick(); }
+
+  [[nodiscard]] int num_hosts() const { return racks * hosts_per_rack; }
+
+  [[nodiscard]] core::FabricConfig opera() const;
+  [[nodiscard]] core::FabricConfig clos() const;
+  [[nodiscard]] core::FabricConfig expander() const;
+  // Hybrid RotorNet donates one extra uplink to a packet core (+33% cost).
+  [[nodiscard]] core::FabricConfig rotornet(bool hybrid = false) const;
+  [[nodiscard]] core::FabricConfig fabric(core::FabricKind kind) const;
+};
+
+}  // namespace opera::exp
