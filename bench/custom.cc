@@ -1,0 +1,146 @@
+// bench_custom — ad-hoc fabric sweeps from the command line, no recompile:
+//
+//   bench_custom --fabric=opera --racks=432 --hosts-per-rack=12 \
+//                --workload=poisson --load=0.25 --duration-ms=1 --seed=1
+//
+// Builds any fabric through core::FabricConfig::scale() at the requested
+// size (e.g. the k=24 / 5184-host Opera sweeps from the ROADMAP), reports
+// construction wall-clock, and (unless --construct-only) drives one of the
+// standard synthetic workloads through it and reports completion and FCT
+// percentiles. --csv/--json choose the output rendering as usual.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/experiment.h"
+#include "workload/flow_size_dist.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace opera;
+
+// --key=value parse helpers (CliOptions already swallows --csv etc.).
+const char* arg_value(int argc, char** argv, const char* key) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+double arg_double(int argc, char** argv, const char* key, double fallback) {
+  const char* v = arg_value(argc, argv, key);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+long arg_long(int argc, char** argv, const char* key, long fallback) {
+  const char* v = arg_value(argc, argv, key);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+std::string arg_string(int argc, char** argv, const char* key, const char* fallback) {
+  const char* v = arg_value(argc, argv, key);
+  return v != nullptr ? v : fallback;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_custom [options]\n"
+      "  --fabric=opera|clos|expander|rotornet   (default opera)\n"
+      "  --racks=N                               (default 108)\n"
+      "  --hosts-per-rack=D                      (default 6; Opera u = D)\n"
+      "  --workload=poisson|permutation|shuffle  (default poisson)\n"
+      "  --load=F          poisson offered load  (default 0.10)\n"
+      "  --dist=datamining|websearch|hadoop      (default datamining)\n"
+      "  --flow-kb=K       permutation/shuffle flow size (default 100)\n"
+      "  --duration-ms=T   poisson arrival window (default 1)\n"
+      "  --horizon-ms=T    simulation horizon     (default 50)\n"
+      "  --seed=S                                (default 1)\n"
+      "  --construct-only  build the network, skip the traffic run\n"
+      "  --csv | --json    output format\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (exp::CliOptions::has_flag(argc, argv, "--help")) return usage();
+
+  const std::string fabric_name = arg_string(argc, argv, "--fabric", "opera");
+  const auto kind = core::parse_fabric_kind(fabric_name);
+  if (!kind) {
+    std::fprintf(stderr, "bench_custom: unknown fabric '%s'\n", fabric_name.c_str());
+    return usage();
+  }
+  const auto racks = static_cast<std::int32_t>(arg_long(argc, argv, "--racks", 108));
+  const auto hosts_per_rack =
+      static_cast<std::int32_t>(arg_long(argc, argv, "--hosts-per-rack", 6));
+  const std::string workload_name = arg_string(argc, argv, "--workload", "poisson");
+  const double load = arg_double(argc, argv, "--load", 0.10);
+  const std::string dist_name = arg_string(argc, argv, "--dist", "datamining");
+  const std::int64_t flow_bytes = arg_long(argc, argv, "--flow-kb", 100) * 1000;
+  const double duration_ms = arg_double(argc, argv, "--duration-ms", 1.0);
+  const double horizon_ms = arg_double(argc, argv, "--horizon-ms", 50.0);
+  const auto seed = static_cast<std::uint64_t>(arg_long(argc, argv, "--seed", 1));
+  const bool construct_only = exp::CliOptions::has_flag(argc, argv, "--construct-only");
+
+  exp::Experiment ex("custom fabric sweep", argc, argv);
+
+  core::FabricConfig config = core::FabricConfig::make(*kind);
+  config.scale(racks, hosts_per_rack);
+  config.seed = seed;
+
+  const auto build_start = std::chrono::steady_clock::now();
+  auto net = core::NetworkFactory::build(config);
+  const double build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start)
+          .count();
+
+  auto& build_table = ex.report().table(
+      "build", {"fabric", "racks", "hosts", "construct_s"});
+  build_table.row({net->describe(), net->num_racks(), net->num_hosts(),
+                   exp::Value(build_seconds, 3)});
+  if (construct_only) return 0;
+
+  sim::Rng rng(seed + 1);
+  std::vector<workload::FlowSpec> flows;
+  if (workload_name == "poisson") {
+    const auto dist = dist_name == "websearch"  ? workload::FlowSizeDistribution::websearch()
+                      : dist_name == "hadoop"   ? workload::FlowSizeDistribution::hadoop()
+                                                : workload::FlowSizeDistribution::datamining();
+    flows = workload::poisson_workload(dist, net->num_hosts(), load,
+                                       config.link.rate_bps,
+                                       sim::Time::from_us(duration_ms * 1000.0), rng);
+  } else if (workload_name == "permutation") {
+    flows = workload::permutation_workload(net->num_hosts(), hosts_per_rack,
+                                           flow_bytes, rng);
+  } else if (workload_name == "shuffle") {
+    flows = workload::shuffle_workload(net->num_hosts(), hosts_per_rack, flow_bytes,
+                                       sim::Time::zero(), rng);
+  } else {
+    std::fprintf(stderr, "bench_custom: unknown workload '%s'\n",
+                 workload_name.c_str());
+    return usage();
+  }
+
+  const auto run_start = std::chrono::steady_clock::now();
+  for (const auto& f : flows) {
+    net->submit_remapped(f.src_host, f.dst_host, f.size_bytes, f.start);
+  }
+  const auto status = net->run_to_completion(sim::Time::from_us(horizon_ms * 1000.0));
+  const double run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+          .count();
+
+  auto& run_table = ex.report().table(
+      "run", {"workload", "flows", "completed", "sim_ms", "wall_s", "events"});
+  run_table.row({workload_name, static_cast<std::int64_t>(flows.size()),
+                 static_cast<std::int64_t>(net->tracker().completed()),
+                 exp::Value(status.ended_at.to_ms(), 3), exp::Value(run_seconds, 3),
+                 static_cast<std::int64_t>(net->sim().events_executed())});
+  ex.emit_fct_rows(fabric_name, load * 100.0, *net);
+  return 0;
+}

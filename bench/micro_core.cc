@@ -3,9 +3,11 @@
 // queue operations, and end-to-end simulated-packet rate.
 #include <benchmark/benchmark.h>
 
+#include "core/fabric.h"
 #include "core/opera_network.h"
 #include "net/queue.h"
 #include "sim/event_queue.h"
+#include "sim/parallel.h"
 #include "sim/rng.h"
 #include "topo/one_factorization.h"
 #include "topo/opera_topology.h"
@@ -53,12 +55,52 @@ void BM_SliceRoutes(benchmark::State& state) {
     slice = (slice + 1) % topo.num_slices();
   }
 }
-BENCHMARK(BM_SliceRoutes)->Arg(16)->Arg(48);
+BENCHMARK(BM_SliceRoutes)->Arg(16)->Arg(48)->Arg(108);
+
+// All N per-slice tables built through the parallel construction path the
+// OperaNetwork constructor uses (sim::parallel_for over slices). Arg(108)
+// is the paper scale; Arg(432) is the k=24 / 5184-host scale from the
+// ROADMAP — tracked here so the scaling claim has a number attached.
+void BM_SliceRoutesParallel(benchmark::State& state) {
+  topo::OperaParams p;
+  p.num_racks = static_cast<topo::Vertex>(state.range(0));
+  p.num_switches = p.num_racks >= 432 ? 12 : 6;
+  p.hosts_per_rack = p.num_switches;
+  p.seed = 1;
+  const topo::OperaTopology topo(p);
+  for (auto _ : state) {
+    std::vector<topo::EcmpTable> tables(static_cast<std::size_t>(topo.num_slices()));
+    sim::parallel_for(tables.size(), [&](std::size_t s) {
+      tables[s] = topo.slice_routes(static_cast<int>(s));
+    });
+    benchmark::DoNotOptimize(tables.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          topo.num_slices());
+}
+BENCHMARK(BM_SliceRoutesParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(108)
+    ->Arg(432)
+    ->Iterations(1);
+
+// Full k=24 Opera construction (432 racks, 5184 hosts): topology
+// generate-and-test, all 432 slice tables, hosts/ToRs/agents. The ROADMAP
+// target is single-digit seconds.
+void BM_OperaK24Construction(benchmark::State& state) {
+  for (auto _ : state) {
+    core::FabricConfig cfg = core::FabricConfig::make(core::FabricKind::kOpera);
+    cfg.scale(432, 12);
+    auto net = core::NetworkFactory::build(cfg);
+    benchmark::DoNotOptimize(net->num_hosts());
+  }
+}
+BENCHMARK(BM_OperaK24Construction)->Unit(benchmark::kSecond)->Iterations(1);
 
 void BM_PortQueue(benchmark::State& state) {
   net::PortQueue q;
   for (auto _ : state) {
-    auto pkt = std::make_unique<net::Packet>();
+    auto pkt = net::make_packet();
     pkt->type = net::PacketType::kData;
     pkt->tclass = net::TrafficClass::kLowLatency;
     pkt->size_bytes = 1500;

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Fail CI when bench results regress against BENCH_BASELINE.json.
+
+Usage:
+    scripts/run_all_benches.sh build bench-results
+    scripts/check_bench_baseline.py [bench-results] [BENCH_BASELINE.json] [--strict]
+
+Checks, per bench recorded in the baseline:
+  * wall-clock: fail when the new time exceeds baseline * 1.25 + 0.5 s
+    (25% regression budget, plus absolute slack so millisecond benches
+    don't flap on scheduler noise);
+  * table shape: fail on any table-row-count drift (a missing table, a
+    new table, or a different number of data rows — the cheap fingerprint
+    of a figure silently changing shape);
+  * presence: fail when a baseline bench produced no CSV at all.
+
+Benches present in the results but absent from the baseline warn by
+default (fail with --strict): regenerate the baseline when adding one
+(scripts/record_bench_baseline.py bench-results > BENCH_BASELINE.json).
+"""
+import json
+import os
+import pathlib
+import sys
+
+# The result-format parsers live with the recorder so the two scripts can
+# never disagree on the CSV/timings schema.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from record_bench_baseline import parse_csv_tables, parse_timings  # noqa: E402
+
+# Wall-clock budget: new <= baseline * RATIO + SLACK. The defaults assume
+# the run and the baseline came from the same machine; CI overrides via
+# env (see .github/workflows/ci.yml) because shared-runner SKUs vary far
+# more than any real regression budget. Row-count drift is exact always.
+WALL_RATIO = float(os.environ.get("BENCH_WALL_RATIO", "1.25"))
+WALL_SLACK_S = float(os.environ.get("BENCH_WALL_SLACK_S", "0.5"))
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    strict = "--strict" in sys.argv
+    results = pathlib.Path(args[0] if len(args) > 0 else "bench-results")
+    baseline_path = pathlib.Path(args[1] if len(args) > 1 else "BENCH_BASELINE.json")
+
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+        return 1
+    timings_file = results / "timings.txt"
+    if not timings_file.exists():
+        print(f"error: {timings_file} not found; run scripts/run_all_benches.sh first",
+              file=sys.stderr)
+        return 1
+
+    baseline = json.loads(baseline_path.read_text())["benches"]
+    timings = parse_timings(timings_file)
+
+    failures = []
+    warnings = []
+    for name, base in sorted(baseline.items()):
+        # Every baseline bench must have run this time: a stale CSV left in
+        # the results dir must not cover for a deleted or renamed bench.
+        if name not in timings:
+            failures.append(f"{name}: missing from timings.txt (bench gone or crashed)")
+            continue
+        # Benches with a recorded table fingerprint must produce a CSV;
+        # text-output benches (bench_micro_core) are wall-clock-gated only.
+        if base.get("table_rows"):
+            csv = results / f"{name}.csv"
+            if not csv.exists():
+                failures.append(f"{name}: no CSV produced (bench crashed?)")
+                continue
+            rows = parse_csv_tables(csv)
+            if rows != base["table_rows"]:
+                failures.append(
+                    f"{name}: table-row drift — baseline {base['table_rows']}, got {rows}")
+
+        base_wall = base.get("wall_s")
+        new_wall = timings.get(name, {}).get("wall_s")
+        if base_wall is not None and new_wall is not None:
+            budget = base_wall * WALL_RATIO + WALL_SLACK_S
+            verdict = "OK"
+            if new_wall > budget:
+                failures.append(
+                    f"{name}: wall-clock regression — {new_wall:.2f}s vs baseline "
+                    f"{base_wall:.2f}s (budget {budget:.2f}s)")
+                verdict = "FAIL"
+            print(f"  {name:<42} {base_wall:7.2f}s -> {new_wall:7.2f}s  {verdict}")
+
+    for name in sorted(timings):
+        if name.startswith("bench_") and name not in baseline:
+            warnings.append(f"{name}: not in baseline — regenerate "
+                            "BENCH_BASELINE.json to start tracking it")
+
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
+    if failures or (strict and warnings):
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        print(f"{len(failures)} bench regression(s); see above", file=sys.stderr)
+        return 1
+    print("bench baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Captures, per bench: wall-clock seconds (from timings.txt) and, per table,
 the number of data rows — a cheap machine-readable fingerprint of each
 figure's output shape. Full outputs stay in bench-results/*.csv; CI
 uploads them as artifacts for value-level diffs.
+
+check_bench_baseline.py imports parse_csv_tables/parse_timings from here,
+so the recorder and the CI gate always agree on the result format.
 """
 import json
 import pathlib
@@ -17,17 +20,27 @@ import sys
 
 
 def parse_csv_tables(path: pathlib.Path):
+    """Data-row count per table id in one bench CSV (--csv schema)."""
     tables = {}
-    current = None
     for line in path.read_text().splitlines():
         if not line or line.startswith("#"):
             continue
         first = line.split(",", 1)[0]
         if first == "table":
             continue
-        current = first
-        tables[current] = tables.get(current, 0) + 1
+        tables[first] = tables.get(first, 0) + 1
     return tables
+
+
+def parse_timings(path: pathlib.Path):
+    """{bench name: {wall_s, status}} from run_all_benches.sh timings.txt."""
+    timings = {}
+    for line in path.read_text().splitlines():
+        m = re.match(r"(\S+)\s+([\d.]+) s\s+(.*)", line)
+        if m:
+            timings[m.group(1)] = {"wall_s": float(m.group(2)),
+                                   "status": m.group(3).strip()}
+    return timings
 
 
 def main() -> int:
@@ -38,19 +51,17 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
-    timings = {}
-    for line in timings_file.read_text().splitlines():
-        m = re.match(r"(\S+)\s+([\d.]+) s\s+(.*)", line)
-        if m:
-            timings[m.group(1)] = {"wall_s": float(m.group(2)),
-                                   "status": m.group(3).strip()}
-
+    timings = parse_timings(timings_file)
     baseline = {"preset": "release", "benches": {}}
-    for csv in sorted(results.glob("bench_*.csv")):
-        name = csv.stem
+    # Every timed bench gets a wall-clock baseline — including ones with no
+    # CSV (bench_micro_core emits Google-Benchmark text), which would
+    # otherwise be exempt from the CI wall-clock gate; table fingerprints
+    # only exist for CSV producers.
+    for name, t in sorted(timings.items()):
+        csv = results / f"{name}.csv"
         baseline["benches"][name] = {
-            "wall_s": timings.get(name, {}).get("wall_s"),
-            "table_rows": parse_csv_tables(csv),
+            "wall_s": t.get("wall_s"),
+            "table_rows": parse_csv_tables(csv) if csv.exists() else {},
         }
     json.dump(baseline, sys.stdout, indent=2, sort_keys=True)
     print()

@@ -61,8 +61,7 @@ void ExpanderNetwork::build() {
     tor->set_forward([this, d](net::Switch& swch, const net::Packet& pkt, int) -> int {
       const std::int32_t rack = swch.id();
       if (pkt.dst_rack == rack) return pkt.dst_host - rack * d;
-      const auto& nexts = routes_[static_cast<std::size_t>(rack)]
-                                 [static_cast<std::size_t>(pkt.dst_rack)];
+      const auto nexts = routes_.next_hops(rack, pkt.dst_rack);
       if (nexts.empty()) return -1;
       const topo::Vertex next = nexts[rng_.index(nexts.size())];
       return uplink_of_[static_cast<std::size_t>(rack)][static_cast<std::size_t>(next)];

@@ -95,6 +95,8 @@ class OperaNetwork : public Network {
 
  private:
   void build_nodes();
+  // (Re)builds all N per-slice tables, in parallel across slices.
+  void build_slice_routes(const topo::FailureSet* failures);
   void recompute_after_failure();
   void wire_slice(int slice);
   void on_slice_boundary(std::int64_t abs_slice);

@@ -23,8 +23,7 @@ void Host::pace_control(PacketPtr pkt) {
 void Host::pacer_kick() {
   if (pacer_busy_ || pacer_queue_.empty()) return;
   pacer_busy_ = true;
-  PacketPtr pkt = std::move(pacer_queue_.front());
-  pacer_queue_.pop_front();
+  PacketPtr pkt = pacer_queue_.pop_front();
   uplink().send(std::move(pkt));
   // One control emission per full-MTU time: data pulled by these credits
   // then arrives at (at most) the receiver's link rate.

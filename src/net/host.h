@@ -3,12 +3,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <unordered_map>
 
 #include "net/node.h"
 #include "net/packet.h"
+#include "net/queue.h"
 
 namespace opera::net {
 
@@ -48,7 +48,7 @@ class Host : public Node {
   std::int32_t rack_;
   std::unordered_map<std::uint64_t, FlowHandler> handlers_;
   DefaultHandler default_handler_;
-  std::deque<PacketPtr> pacer_queue_;
+  PacketRing pacer_queue_;
   bool pacer_busy_ = false;
 };
 

@@ -1,9 +1,39 @@
 #include "net/packet.h"
 
+#include <vector>
+
 namespace opera::net {
 
+namespace {
+
+// Thread-local packet free list. Unbounded on purpose: it grows to the
+// simulation's peak in-flight packet count and then every make_packet()
+// is a pop + reset.
+struct PacketPool {
+  std::vector<Packet*> free_list;
+  ~PacketPool() {
+    for (Packet* p : free_list) delete p;
+  }
+};
+thread_local PacketPool g_packet_pool;
+
+}  // namespace
+
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  g_packet_pool.free_list.push_back(p);
+}
+
+PacketPtr make_packet() {
+  auto& pool = g_packet_pool.free_list;
+  if (pool.empty()) return PacketPtr{new Packet};
+  Packet* p = pool.back();
+  pool.pop_back();
+  *p = Packet{};
+  return PacketPtr{p};
+}
+
 PacketPtr make_control(const Packet& in_response_to, PacketType type) {
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = make_packet();
   pkt->flow_id = in_response_to.flow_id;
   pkt->seq = in_response_to.seq;
   pkt->src_host = in_response_to.dst_host;

@@ -40,7 +40,17 @@ struct Packet {
   std::int32_t relay_rack = -1;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Packets are pooled: destroying a PacketPtr returns the object to a
+// thread-local free list and make_packet() reuses it, so steady-state
+// forwarding performs no heap allocation. The simulation (and therefore
+// every packet) lives on one thread.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// A default-initialized Packet from the pool.
+[[nodiscard]] PacketPtr make_packet();
 
 inline constexpr std::int32_t kHeaderBytes = 64;   // trimmed/control packets
 inline constexpr std::int32_t kMtuBytes = 1500;    // paper's MTU

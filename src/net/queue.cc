@@ -61,20 +61,17 @@ EnqueueOutcome PortQueue::enqueue(PacketPtr pkt) {
 
 PacketPtr PortQueue::dequeue() {
   if (!control_.empty()) {
-    PacketPtr pkt = std::move(control_.front());
-    control_.pop_front();
+    PacketPtr pkt = control_.pop_front();
     control_bytes_ -= pkt->size_bytes;
     return pkt;
   }
   if (!low_latency_.empty()) {
-    PacketPtr pkt = std::move(low_latency_.front());
-    low_latency_.pop_front();
+    PacketPtr pkt = low_latency_.pop_front();
     low_latency_bytes_ -= pkt->size_bytes;
     return pkt;
   }
   if (!bulk_.empty()) {
-    PacketPtr pkt = std::move(bulk_.front());
-    bulk_.pop_front();
+    PacketPtr pkt = bulk_.pop_front();
     bulk_bytes_ -= pkt->size_bytes;
     return pkt;
   }
@@ -82,8 +79,8 @@ PacketPtr PortQueue::dequeue() {
 }
 
 void PortQueue::flush(const DropHandler& handler) {
-  for (auto& pkt : bulk_) {
-    if (handler) handler(*pkt);
+  if (handler) {
+    bulk_.for_each([&handler](const PacketPtr& pkt) { handler(*pkt); });
   }
   control_.clear();
   low_latency_.clear();

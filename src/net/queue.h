@@ -9,11 +9,12 @@
 // (ToR bulk queues hold roughly one slice worth of data).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "net/packet.h"
+#include "sim/ring.h"
 
 namespace opera::net {
 
@@ -22,6 +23,12 @@ enum class EnqueueOutcome : std::uint8_t {
   kTrimmed,  // payload dropped; header queued in the control band
   kDropped,  // packet discarded entirely
 };
+
+// FIFO of packets over a power-of-two ring buffer (see sim/ring.h):
+// no memory until first use, capacity retained across drain/fill cycles,
+// so steady-state enqueue/dequeue never allocates — unlike std::deque,
+// which allocates and frees chunks as the queue breathes.
+using PacketRing = sim::Ring<PacketPtr>;
 
 class PortQueue {
  public:
@@ -70,9 +77,9 @@ class PortQueue {
 
  private:
   Config config_;
-  std::deque<PacketPtr> control_;
-  std::deque<PacketPtr> low_latency_;
-  std::deque<PacketPtr> bulk_;
+  PacketRing control_;
+  PacketRing low_latency_;
+  PacketRing bulk_;
   std::int64_t control_bytes_ = 0;
   std::int64_t low_latency_bytes_ = 0;
   std::int64_t bulk_bytes_ = 0;

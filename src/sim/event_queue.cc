@@ -1,51 +1,284 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <utility>
 
 namespace opera::sim {
 
+namespace detail {
+
+std::uint32_t EventQueueImpl::alloc_slot() {
+  if (!free_slots.empty()) {
+    const std::uint32_t id = free_slots.back();
+    free_slots.pop_back();
+    return id;
+  }
+  meta.emplace_back();
+  fns.emplace_back();
+  return static_cast<std::uint32_t>(meta.size() - 1);
+}
+
+void EventQueueImpl::link_sorted(std::uint32_t id) {
+  Bucket& b = buckets[bucket_of(meta[id].at.picoseconds())];
+  const std::uint32_t t = b.tail;
+  if (t == kNoSlot) {
+    b.head = b.tail = id;
+    meta[id].prev = meta[id].next = kNoSlot;
+    return;
+  }
+  // Most inserts carry the latest (time, seq) in their bucket, so walk
+  // backward from the tail; equal times append O(1) because seq increases.
+  if (!before(id, t)) {
+    meta[id].prev = t;
+    meta[id].next = kNoSlot;
+    meta[t].next = id;
+    b.tail = id;
+    return;
+  }
+  std::uint32_t cur = meta[t].prev;
+  std::uint32_t nxt = t;
+  std::uint32_t steps = 0;
+  while (cur != kNoSlot && before(id, cur)) {
+    nxt = cur;
+    cur = meta[cur].prev;
+    ++steps;
+  }
+  if (steps > 16) ++long_walks;
+  meta[id].prev = cur;
+  meta[id].next = nxt;
+  if (cur == kNoSlot) b.head = id; else meta[cur].next = id;
+  meta[nxt].prev = id;
+}
+
+void EventQueueImpl::unlink(std::uint32_t id) {
+  Bucket& b = buckets[bucket_of(meta[id].at.picoseconds())];
+  const std::uint32_t prev = meta[id].prev;
+  const std::uint32_t next = meta[id].next;
+  if (prev == kNoSlot) b.head = next; else meta[prev].next = next;
+  if (next == kNoSlot) b.tail = prev; else meta[next].prev = prev;
+}
+
+void EventQueueImpl::find_min() {
+  if (min_slot != kNoSlot || count == 0) return;
+  // Walk buckets forward from the last known lower bound. Bucket windows
+  // partition time, so the first head that lies inside its current window
+  // is the global minimum.
+  std::uint64_t gb = static_cast<std::uint64_t>(scan_from) >> width_shift;
+  for (std::uint32_t i = 0; i < nb; ++i, ++gb) {
+    const std::uint32_t h = buckets[gb & bucket_mask].head;
+    if (h != kNoSlot &&
+        static_cast<std::uint64_t>(meta[h].at.picoseconds()) < ((gb + 1) << width_shift)) {
+      min_slot = h;
+      scan_from = meta[h].at.picoseconds();
+      if (i > 32) ++long_scans;
+      return;
+    }
+  }
+  ++long_scans;
+  // Nothing within one calendar year of scan_from: the pending events are
+  // sparse. Take the minimum over all bucket heads and jump to it.
+  std::uint32_t best = kNoSlot;
+  for (std::uint32_t b = 0; b < nb; ++b) {
+    const std::uint32_t h = buckets[b].head;
+    if (h != kNoSlot && (best == kNoSlot || before(h, best))) best = h;
+  }
+  assert(best != kNoSlot);
+  min_slot = best;
+  scan_from = meta[best].at.picoseconds();
+}
+
+void EventQueueImpl::resize() {
+  const auto target = static_cast<std::uint32_t>(
+      std::bit_ceil(std::max<std::size_t>(64, count)));
+  // Bucket width (a power of two, so bucket_of is a shift) tracks the
+  // spacing of recently fired events — the density near the queue's head,
+  // which is what pop scans see. Before any pops, fall back to the pending
+  // range. Equal-time bursts would drive the estimate to zero; keep the
+  // previous width then.
+  std::uint64_t w = std::uint64_t{1} << width_shift;
+  if (pop_hist_n >= 16) {
+    // Median of the recent distinct inter-dequeue gaps: robust against the
+    // occasional far jump (an RTO timer firing amid microsecond-spaced
+    // packet events), which would blow a mean-based estimate up by orders
+    // of magnitude and collapse the dense events into a single bucket.
+    std::int64_t gaps[15];
+    const std::uint64_t base = pop_hist_n;  // oldest entry lives at base & 15
+    for (int i = 0; i < 15; ++i) {
+      gaps[i] = pop_hist[(base + static_cast<std::uint64_t>(i) + 1) & 15] -
+                pop_hist[(base + static_cast<std::uint64_t>(i)) & 15];
+    }
+    std::nth_element(gaps, gaps + 7, gaps + 15);
+    if (gaps[7] > 0) w = static_cast<std::uint64_t>(gaps[7]) * 2;
+  } else if (count > 1 && max_at > min_at) {
+    w = static_cast<std::uint64_t>(max_at - min_at) / count * 2;
+  }
+  const auto shift = static_cast<unsigned>(
+      std::bit_width(std::max<std::uint64_t>(w, 1)) - 1);
+
+  std::vector<std::uint32_t> pending;
+  pending.reserve(count);
+  for (const Bucket& b : buckets) {
+    for (std::uint32_t id = b.head; id != kNoSlot; id = meta[id].next) {
+      pending.push_back(id);
+    }
+  }
+  set_buckets(target, std::min(shift, 62u));
+  for (const std::uint32_t id : pending) link_sorted(id);
+  min_slot = kNoSlot;
+}
+
+namespace {
+
+// Retired impl blocks (with their grown vector capacity) are recycled so
+// that building simulator after simulator — a parameter sweep, a benchmark
+// loop — pays the slab's page faults once per process, not once per run.
+// Only blocks with no outstanding handles are eligible.
+struct ImplPool {
+  std::vector<EventQueueImpl*> retired;
+  ~ImplPool() {
+    for (EventQueueImpl* impl : retired) delete impl;
+  }
+};
+thread_local ImplPool g_impl_pool;
+
+}  // namespace
+
+EventQueueImpl* acquire_impl() {
+  auto& pool = g_impl_pool.retired;
+  if (pool.empty()) return new EventQueueImpl;
+  EventQueueImpl* impl = pool.back();
+  pool.pop_back();
+  return impl;
+}
+
+void retire_impl(EventQueueImpl* impl) {
+  constexpr std::size_t kMaxRetired = 4;
+  if (impl->refs == 1 && g_impl_pool.retired.size() < kMaxRetired) {
+    // Reset to the fresh-queue state but keep every vector's capacity.
+    impl->meta.clear();
+    impl->fns.clear();
+    impl->free_slots.clear();
+    impl->set_buckets(64, 10);
+    impl->next_seq = 0;
+    impl->count = 0;
+    impl->min_slot = kNoSlot;
+    impl->scan_from = 0;
+    impl->pop_hist_n = 0;
+    impl->long_scans = 0;
+    impl->long_walks = 0;
+    impl->min_at = impl->max_at = 0;
+    g_impl_pool.retired.push_back(impl);
+    return;
+  }
+  impl->queue_alive = false;
+  // Free the event storage now; the (small) control block lives on until
+  // the last outstanding handle drops it.
+  impl->meta.clear();
+  impl->meta.shrink_to_fit();
+  impl->fns.clear();
+  impl->fns.shrink_to_fit();
+  impl->buckets.clear();
+  impl->buckets.shrink_to_fit();
+  impl->free_slots.clear();
+  impl->free_slots.shrink_to_fit();
+  if (--impl->refs == 0) delete impl;
+}
+
+}  // namespace detail
+
 void EventHandle::cancel() {
-  if (state_ != nullptr) state_->cancelled = true;
+  if (impl_ == nullptr || !impl_->queue_alive) return;
+  if (slot_ >= impl_->meta.size()) return;
+  if (impl_->meta[slot_].generation != generation_) return;  // fired or cancelled
+  impl_->unlink(slot_);
+  impl_->fns[slot_].reset();
+  impl_->release(slot_);
+  --impl_->count;
+  if (impl_->min_slot == slot_) impl_->min_slot = detail::kNoSlot;
 }
 
 bool EventHandle::pending() const {
-  return state_ != nullptr && !state_->cancelled && !state_->fired;
+  if (impl_ == nullptr || !impl_->queue_alive) return false;
+  if (slot_ >= impl_->meta.size()) return false;
+  return impl_->meta[slot_].generation == generation_;
 }
+
+EventQueue::~EventQueue() { detail::retire_impl(impl_); }
 
 EventHandle EventQueue::schedule(Time at, Callback fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
-  return EventHandle{std::move(state)};
-}
-
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
-}
-
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
-}
-
-Time EventQueue::next_time() const {
-  drop_cancelled();
-  return heap_.empty() ? Time::infinity() : heap_.top().at;
+  detail::EventQueueImpl& q = *impl_;
+  const std::uint32_t id = q.alloc_slot();
+  detail::EventQueueImpl::Meta& m = q.meta[id];
+  m.at = at;
+  m.seq = static_cast<std::uint32_t>(q.next_seq++);
+  q.fns[id] = std::move(fn);
+  q.link_sorted(id);
+  ++q.count;
+  const std::int64_t at_ps = at.picoseconds();
+  if (q.count == 1) {
+    q.min_at = q.max_at = at_ps;
+  } else {
+    q.min_at = std::min(q.min_at, at_ps);
+    q.max_at = std::max(q.max_at, at_ps);
+  }
+  // Events may be scheduled before the current scan point (the raw queue
+  // does not require monotonic time); keep the lower bound honest.
+  if (at_ps < q.scan_from) q.scan_from = at_ps;
+  if (q.min_slot != detail::kNoSlot && at < q.meta[q.min_slot].at) q.min_slot = id;
+  if (q.count > 2 * q.nb || q.long_walks >= 8) {
+    q.long_walks = 0;
+    q.resize();
+  }
+  return EventHandle{impl_, id, m.generation};
 }
 
 Time EventQueue::run_next() {
-  drop_cancelled();
-  assert(!heap_.empty());
-  // Move the entry out before running: the callback may schedule new events
-  // and reallocate the heap.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  entry.state->fired = true;
-  entry.fn();
-  return entry.at;
+  detail::EventQueueImpl& q = *impl_;
+  assert(q.count > 0);
+  // Repeated long scans mean the bucket width has drifted away from the
+  // event spacing (which resize() re-estimates); rebuild even though the
+  // queue size has not crossed a threshold.
+  if (q.long_scans >= 8) {
+    q.long_scans = 0;
+    q.resize();
+  }
+  q.find_min();
+  const std::uint32_t id = q.min_slot;
+  const Time at = q.meta[id].at;
+  // Move the callback out and free the slot *before* running: the callback
+  // may schedule new events, growing the slab and reusing this slot.
+  Callback fn = std::move(q.fns[id]);
+  q.fns[id].reset();
+  q.unlink(id);
+  q.release(id);
+  --q.count;
+  q.min_slot = detail::kNoSlot;
+  const std::int64_t at_ps = at.picoseconds();
+  q.scan_from = at_ps;
+  if (q.pop_hist_n == 0 || q.pop_hist[(q.pop_hist_n - 1) & 15] != at_ps) {
+    q.pop_hist[q.pop_hist_n & 15] = at_ps;
+    ++q.pop_hist_n;
+  }
+  if (q.nb > 64 && q.count < q.nb / 8) q.resize();
+  fn();
+  return at;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  detail::EventQueueImpl& q = *impl_;
+  for (detail::EventQueueImpl::Bucket& b : q.buckets) {
+    for (std::uint32_t id = b.head; id != detail::kNoSlot;) {
+      const std::uint32_t next = q.meta[id].next;
+      q.fns[id].reset();
+      q.release(id);
+      id = next;
+    }
+    b.head = b.tail = detail::kNoSlot;
+  }
+  q.count = 0;
+  q.min_slot = detail::kNoSlot;
 }
 
 }  // namespace opera::sim

@@ -1,18 +1,128 @@
-// The discrete-event core: a cancellable binary-heap event queue.
+// The discrete-event core: a cancellable calendar-queue event scheduler.
 //
 // Events at equal timestamps fire in schedule order (a strictly increasing
 // sequence number breaks ties), which keeps simulations deterministic.
+//
+// Layout (the per-packet hot path schedules and fires two events, so this
+// is the single hottest structure in the simulator):
+//   * a slab of reusable slots holds each pending event; freed slots go on
+//     a free list and are reused, so steady-state scheduling performs no
+//     heap allocation (callbacks use SmallCallback's inline buffer). The
+//     slab is split into a compact 24-byte metadata array (time, seq,
+//     links, generation — everything ordering touches) and a parallel
+//     callback array touched only at schedule and fire, which keeps the
+//     working set of ordering operations small;
+//   * slots are threaded into a calendar of time buckets (Brown '88, the
+//     structure htsim-class simulators use): bucket = (t / width) mod nb,
+//     each bucket a doubly-linked list sorted by (time, seq). Schedule and
+//     cancel are O(1) expected; pop scans forward from the last-popped
+//     time and the bucket count/width self-tune to the pending-event
+//     density, so dequeue is O(1) amortized rather than O(log n);
+//   * cancellation unlinks the slot eagerly — size(), empty() and
+//     next_time() are exact, with no lazy-drop pass;
+//   * handles address their slot by {id, generation}; a stale generation
+//     means the event already fired or was cancelled, so handles are cheap
+//     to copy, idempotent to cancel, and safe to use after the event (or
+//     the whole queue) is gone. The refcounted control block is
+//     single-threaded (no atomics): the simulator is not thread-safe.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/small_callback.h"
 #include "sim/time.h"
 
 namespace opera::sim {
+
+namespace detail {
+
+inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+// The queue's whole state, heap-allocated and refcounted so EventHandles
+// can outlive the EventQueue: the queue's destructor releases the event
+// storage but the block itself stays until the last handle drops it.
+struct EventQueueImpl {
+  // Ordering metadata only — kept to 24 bytes so bucket walks and pop
+  // scans stay in cache even with 10^5 pending events.
+  struct Meta {
+    Time at;
+    // Truncated sequence number; ties compare with wraparound-aware
+    // subtraction, which is exact as long as two equal-time pending events
+    // were scheduled within 2^31 schedules of each other.
+    std::uint32_t seq = 0;
+    std::uint32_t prev = kNoSlot;
+    std::uint32_t next = kNoSlot;
+    std::uint32_t generation = 0;
+  };
+  struct Bucket {
+    std::uint32_t head = kNoSlot;
+    std::uint32_t tail = kNoSlot;
+  };
+
+  std::vector<Meta> meta;
+  std::vector<SmallCallback> fns;         // parallel to `meta`
+  std::vector<std::uint32_t> free_slots;  // LIFO of reusable slot ids
+  std::vector<Bucket> buckets;            // size nb (a power of two)
+  unsigned width_shift = 10;              // bucket span = 2^width_shift ps
+  std::uint32_t nb = 0;
+  std::uint32_t bucket_mask = 0;
+  std::uint64_t next_seq = 0;
+  std::size_t count = 0;
+  std::uint32_t min_slot = kNoSlot;   // cached earliest slot (kNoSlot: unknown)
+  std::int64_t scan_from = 0;         // lower bound on the earliest pending time
+  // Recent *distinct* dequeue times, for width tuning: equal-time bursts
+  // carry no spacing information and would drive the estimate to zero.
+  std::int64_t pop_hist[16] = {};
+  std::uint64_t pop_hist_n = 0;
+  // Width-drift detectors (the width only self-tunes on rebuild, and a
+  // steady-state queue never crosses the size thresholds): pops whose
+  // bucket scan ran long mean the width is too narrow for the event
+  // spacing; schedules whose sorted-insert walk ran long mean it is too
+  // wide (events piling into few buckets). Either way, rebuild.
+  std::uint32_t long_scans = 0;
+  std::uint32_t long_walks = 0;
+  std::int64_t min_at = 0, max_at = 0;  // pending-time range (monotone approx)
+
+  std::uint32_t refs = 1;  // queue + live handles
+  bool queue_alive = true;
+
+  EventQueueImpl() { set_buckets(64, 10); }
+
+  void set_buckets(std::uint32_t n, unsigned shift) {
+    nb = n;
+    bucket_mask = n - 1;
+    width_shift = shift;
+    buckets.assign(n, Bucket{});
+  }
+  [[nodiscard]] std::uint32_t bucket_of(std::int64_t at_ps) const {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(at_ps) >> width_shift) & bucket_mask);
+  }
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+    const Meta& x = meta[a];
+    const Meta& y = meta[b];
+    if (x.at != y.at) return x.at < y.at;
+    return static_cast<std::int32_t>(x.seq - y.seq) < 0;
+  }
+
+  std::uint32_t alloc_slot();
+  void link_sorted(std::uint32_t id);
+  void unlink(std::uint32_t id);
+  void release(std::uint32_t id) {
+    ++meta[id].generation;
+    free_slots.push_back(id);
+  }
+  // Ensures min_slot names the earliest pending event (count > 0).
+  void find_min();
+  void resize();
+};
+
+// Fetches a (possibly recycled) impl block / retires one at destruction.
+EventQueueImpl* acquire_impl();
+void retire_impl(EventQueueImpl* impl);
+
+}  // namespace detail
 
 class EventQueue;
 
@@ -21,6 +131,30 @@ class EventQueue;
 class EventHandle {
  public:
   EventHandle() = default;
+  EventHandle(const EventHandle& other)
+      : EventHandle(other.impl_, other.slot_, other.generation_) {}
+  EventHandle(EventHandle&& other) noexcept
+      : impl_(other.impl_), slot_(other.slot_), generation_(other.generation_) {
+    other.impl_ = nullptr;
+  }
+  EventHandle& operator=(const EventHandle& other) {
+    if (this != &other) {
+      EventHandle tmp(other);
+      *this = static_cast<EventHandle&&>(tmp);
+    }
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      drop();
+      impl_ = other.impl_;
+      slot_ = other.slot_;
+      generation_ = other.generation_;
+      other.impl_ = nullptr;
+    }
+    return *this;
+  }
+  ~EventHandle() { drop(); }
 
   // Cancels the event if it has not fired yet. Idempotent.
   void cancel();
@@ -29,26 +163,43 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(detail::EventQueueImpl* impl, std::uint32_t slot, std::uint32_t generation)
+      : impl_(impl), slot_(slot), generation_(generation) {
+    if (impl_ != nullptr) ++impl_->refs;
+  }
+  void drop() {
+    if (impl_ != nullptr && --impl_->refs == 0) delete impl_;
+    impl_ = nullptr;
+  }
+
+  detail::EventQueueImpl* impl_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
+
+  EventQueue() : impl_(detail::acquire_impl()) {}
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   // Schedules `fn` to run at absolute time `at`.
   EventHandle schedule(Time at, Callback fn);
 
-  [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  // Exact: cancelled events leave the queue immediately.
+  [[nodiscard]] bool empty() const { return impl_->count == 0; }
+  [[nodiscard]] std::size_t size() const { return impl_->count; }
 
-  // Time of the earliest non-cancelled event; Time::infinity() if none.
-  [[nodiscard]] Time next_time() const;
+  // Time of the earliest event; Time::infinity() if none.
+  [[nodiscard]] Time next_time() const {
+    if (impl_->count == 0) return Time::infinity();
+    impl_->find_min();
+    return impl_->meta[impl_->min_slot].at;
+  }
 
   // Pops and runs the earliest event; returns its timestamp.
   // Precondition: !empty().
@@ -58,22 +209,7 @@ class EventQueue {
   void clear();
 
  private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<EventHandle::State> state;
-    // Min-heap on (at, seq).
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  void drop_cancelled() const;
-
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::uint64_t next_seq_ = 0;
+  detail::EventQueueImpl* impl_;
 };
 
 }  // namespace opera::sim

@@ -1,0 +1,69 @@
+// parallel_for — a minimal fork-join helper for embarrassingly parallel
+// index ranges (per-slice routing tables, per-source BFS sweeps).
+//
+// Work is claimed through a shared atomic counter, so uneven iteration
+// costs balance automatically. Falls back to a plain loop when the range
+// or the machine is too small to benefit. The first exception thrown by an
+// iteration is rethrown on the calling thread after the join.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opera::sim {
+
+// Number of workers parallel_for will use for a range of size n.
+[[nodiscard]] inline unsigned parallel_workers(std::size_t n, unsigned max_threads = 0) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  unsigned workers = max_threads != 0 ? max_threads : (hw != 0 ? hw : 1);
+  if (static_cast<std::size_t>(workers) > n) workers = static_cast<unsigned>(n);
+  return workers == 0 ? 1 : workers;
+}
+
+// Runs fn(i) for every i in [0, n). Iterations may run concurrently and in
+// any order; fn must not touch shared mutable state without its own
+// synchronization (writing to distinct elements of a pre-sized vector is
+// fine).
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, unsigned max_threads = 0) {
+  if (n == 0) return;
+  const unsigned workers = parallel_workers(n, max_threads);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  try {
+    for (unsigned t = 1; t < workers; ++t) threads.emplace_back(work);
+  } catch (const std::system_error&) {
+    // Thread-resource exhaustion: degrade to however many workers spawned
+    // (possibly none) — the calling thread drains the rest of the range.
+  }
+  work();
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace opera::sim

@@ -1,0 +1,79 @@
+// Ring<T> — a deque-like FIFO over a power-of-two ring buffer.
+//
+// Two properties std::deque lacks make it the right container for the
+// simulator's many queues:
+//   * a default-constructed Ring owns no memory (libstdc++'s deque
+//     allocates its map and first chunk up front — fatal when a 5184-host
+//     fabric holds millions of mostly-empty virtual output queues);
+//   * capacity is retained across drain/fill cycles, so steady-state
+//     push/pop never allocates.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace opera::sim {
+
+template <typename T>
+class Ring {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(value);
+    ++count_;
+  }
+
+  void push_front(T value) {
+    if (count_ == buf_.size()) grow();
+    head_ = (head_ + buf_.size() - 1) & (buf_.size() - 1);
+    buf_[head_] = std::move(value);
+    ++count_;
+  }
+
+  // Precondition for front()/pop_front(): !empty().
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+
+  T pop_front() {
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return value;
+  }
+
+  // Front-to-back visit.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      fn(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < count_; ++i) {
+      buf_[(head_ + i) & (buf_.size() - 1)] = T{};
+    }
+    head_ = count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> bigger(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  // size is 0 or a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace opera::sim

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 
 namespace opera::topo {
 
@@ -34,26 +33,110 @@ Graph Graph::union_with(const Graph& other) const {
   return out;
 }
 
-std::vector<Vertex> bfs_distances(const Graph& g, Vertex src) {
-  std::vector<Vertex> dist(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+namespace {
+
+// BFS distances from `src` written into the flat row dist[0..n); -1 marks
+// unreachable. `frontier` is caller-provided scratch to avoid per-call
+// allocation; it doubles as the BFS queue (`head` chases push_back).
+void bfs_into_row(const Graph& g, Vertex src, Vertex* dist,
+                  std::vector<Vertex>& frontier) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::fill(dist, dist + n, kNoVertex);
   dist[static_cast<std::size_t>(src)] = 0;
-  std::deque<Vertex> frontier{src};
-  while (!frontier.empty()) {
-    const Vertex v = frontier.front();
-    frontier.pop_front();
+  frontier.clear();
+  frontier.push_back(src);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const Vertex v = frontier[head];
+    const Vertex dv = dist[static_cast<std::size_t>(v)];
     for (const Vertex w : g.neighbors(v)) {
       if (dist[static_cast<std::size_t>(w)] == kNoVertex) {
-        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        dist[static_cast<std::size_t>(w)] = dv + 1;
         frontier.push_back(w);
       }
     }
   }
+}
+
+}  // namespace
+
+std::vector<Vertex> bfs_distances(const Graph& g, Vertex src) {
+  std::vector<Vertex> dist(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<Vertex> frontier;
+  bfs_into_row(g, src, dist.data(), frontier);
   return dist;
 }
 
 EcmpTable all_pairs_ecmp_next_hops(const Graph& g) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
-  EcmpTable next(n, std::vector<std::vector<Vertex>>(n));
+  EcmpTable table;
+  table.n_ = g.num_vertices();
+  table.offsets_.assign(n * n + 1, 0);
+  if (n == 0) return table;
+
+  // Pass 0: the full distance matrix, one flat BFS row per source. The
+  // graph is undirected, so dist[v][dst] == dist[dst][v] and the per-source
+  // rows below give every dist(neighbor, dst) the counting passes need.
+  std::vector<Vertex> dist(n * n);
+  std::vector<Vertex> frontier;
+  frontier.reserve(n);
+  for (Vertex src = 0; src < table.n_; ++src) {
+    bfs_into_row(g, src, dist.data() + static_cast<std::size_t>(src) * n, frontier);
+  }
+
+  // Pass 1: count next hops per (src, dst) cell into offsets_[cell + 1].
+  // A neighbor nb of src is a shortest-path next hop toward dst iff
+  // dist(nb, dst) == dist(src, dst) - 1. That single compare also handles
+  // the edge cases: dst == src gives an expected distance of -1, and an
+  // unreachable dst gives -2 — a neighbor's distance is never either (the
+  // graph is undirected, so src and its neighbors share a component). The
+  // branchless form vectorizes over the two sequential rows.
+  for (Vertex src = 0; src < table.n_; ++src) {
+    const Vertex* src_row = dist.data() + static_cast<std::size_t>(src) * n;
+    std::uint32_t* counts = table.offsets_.data() + static_cast<std::size_t>(src) * n + 1;
+    for (const Vertex nb : g.neighbors(src)) {
+      const Vertex* nb_row = dist.data() + static_cast<std::size_t>(nb) * n;
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        counts[dst] += static_cast<std::uint32_t>(nb_row[dst] == src_row[dst] - 1);
+      }
+    }
+  }
+  for (std::size_t cell = 1; cell <= n * n; ++cell) {
+    table.offsets_[cell] += table.offsets_[cell - 1];
+  }
+
+  // Pass 2: fill, appending per-cell in neighbors(src) order (the order the
+  // nested reference implementation produces). Cells are visited in offset
+  // order with a local cursor that only advances on a match, so the store
+  // can be unconditional (a non-matching store lands one past the cell and
+  // is overwritten when the next cell fills); the +1 slack slot absorbs the
+  // very last non-matching store.
+  table.hops_.resize(table.offsets_.back() + 1);
+  std::vector<const Vertex*> nb_rows;
+  for (Vertex src = 0; src < table.n_; ++src) {
+    const Vertex* src_row = dist.data() + static_cast<std::size_t>(src) * n;
+    const std::uint32_t* row_offsets =
+        table.offsets_.data() + static_cast<std::size_t>(src) * n;
+    const auto& nbrs = g.neighbors(src);
+    nb_rows.clear();
+    for (const Vertex nb : nbrs) {
+      nb_rows.push_back(dist.data() + static_cast<std::size_t>(nb) * n);
+    }
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      std::uint32_t cursor = row_offsets[dst];
+      const Vertex want = src_row[dst] - 1;
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        table.hops_[cursor] = nbrs[j];
+        cursor += static_cast<std::uint32_t>(nb_rows[j][dst] == want);
+      }
+    }
+  }
+  table.hops_.resize(table.offsets_.back());
+  return table;
+}
+
+NestedEcmpTable all_pairs_ecmp_next_hops_reference(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  NestedEcmpTable next(n, std::vector<std::vector<Vertex>>(n));
   for (Vertex dst = 0; dst < g.num_vertices(); ++dst) {
     const auto dist_from_dst = bfs_distances(g, dst);
     for (Vertex src = 0; src < g.num_vertices(); ++src) {

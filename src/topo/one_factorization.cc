@@ -126,7 +126,8 @@ void alternating_cycle_swap(Matching& a, Matching& b, Vertex start) {
 // vertex and releases that vertex's partner back into the pool. Returns an
 // empty matching on failure (repair budget exhausted or a vertex ran out
 // of compatible partners entirely).
-Matching random_disjoint_matching(Vertex n, const std::vector<bool>& used, sim::Rng& rng) {
+Matching random_disjoint_matching(Vertex n, const std::vector<std::uint8_t>& used,
+                                  sim::Rng& rng) {
   const auto sz = static_cast<std::size_t>(n);
   Matching match(sz, kNoVertex);
   std::vector<Vertex> pool;
@@ -136,6 +137,7 @@ Matching random_disjoint_matching(Vertex n, const std::vector<bool>& used, sim::
 
   std::int64_t repair_budget = 40LL * n;
   std::vector<Vertex> candidates;
+  candidates.reserve(sz);
   while (!pool.empty()) {
     // Pop a random unmatched vertex (entries may be stale after repairs).
     const std::size_t vi = rng.index(pool.size());
@@ -143,12 +145,14 @@ Matching random_disjoint_matching(Vertex n, const std::vector<bool>& used, sim::
     pool[vi] = pool.back();
     pool.pop_back();
     if (match[static_cast<std::size_t>(v)] != kNoVertex) continue;
+    const std::uint8_t* v_used = used.data() + static_cast<std::size_t>(v) * sz;
 
-    // Preferred: a compatible unmatched partner.
+    // Preferred: a compatible unmatched partner. (w == v cannot occur: v
+    // was popped from the pool and the diagonal is marked used anyway.)
     candidates.clear();
     for (const Vertex w : pool) {
-      if (w == v || match[static_cast<std::size_t>(w)] != kNoVertex) continue;
-      if (!used[static_cast<std::size_t>(v) * sz + static_cast<std::size_t>(w)]) {
+      if (match[static_cast<std::size_t>(w)] == kNoVertex &&
+          v_used[static_cast<std::size_t>(w)] == 0) {
         candidates.push_back(w);
       }
     }
@@ -160,10 +164,9 @@ Matching random_disjoint_matching(Vertex n, const std::vector<bool>& used, sim::
     }
 
     // Repair: steal a compatible matched vertex w from its partner x.
-    candidates.clear();
     for (Vertex w = 0; w < n; ++w) {
-      if (w == v || match[static_cast<std::size_t>(w)] == kNoVertex) continue;
-      if (!used[static_cast<std::size_t>(v) * sz + static_cast<std::size_t>(w)]) {
+      if (match[static_cast<std::size_t>(w)] != kNoVertex &&
+          v_used[static_cast<std::size_t>(w)] == 0) {
         candidates.push_back(w);
       }
     }
@@ -190,8 +193,8 @@ std::vector<Matching> random_factorization_even(Vertex n, sim::Rng& rng) {
   constexpr int kMaxRestarts = 200;
   constexpr int kMatchingRetries = 30;
   for (int restart = 0; restart < kMaxRestarts; ++restart) {
-    std::vector<bool> used(sz * sz, false);
-    for (std::size_t v = 0; v < sz; ++v) used[v * sz + v] = true;  // diagonal
+    std::vector<std::uint8_t> used(sz * sz, 0);
+    for (std::size_t v = 0; v < sz; ++v) used[v * sz + v] = 1;  // diagonal
     std::vector<Matching> out;
     Matching ident(sz);
     for (Vertex v = 0; v < n; ++v) ident[static_cast<std::size_t>(v)] = v;
@@ -205,7 +208,7 @@ std::vector<Matching> random_factorization_even(Vertex n, sim::Rng& rng) {
         if (m.empty()) continue;
         for (Vertex v = 0; v < n; ++v) {
           const Vertex w = m[static_cast<std::size_t>(v)];
-          used[static_cast<std::size_t>(v) * sz + static_cast<std::size_t>(w)] = true;
+          used[static_cast<std::size_t>(v) * sz + static_cast<std::size_t>(w)] = 1;
         }
         out.push_back(std::move(m));
         ok = true;

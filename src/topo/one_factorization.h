@@ -55,10 +55,13 @@ using Matching = std::vector<Vertex>;
 void alternating_cycle_swap(Matching& a, Matching& b, Vertex start);
 
 // Draws one random perfect matching on n (even) vertices that avoids the
-// edges marked in `used` (row-major n*n bitmap), via randomized greedy
+// edges marked in `used` (row-major n*n byte map — bytes, not
+// vector<bool>, because the sampler's inner loops scan whole rows and the
+// bit extraction dominated large-N factorization), via randomized greedy
 // matching with steal-repair. Returns an empty vector on failure. This is
 // the workhorse behind random_factorization and random_regular_graph.
-[[nodiscard]] Matching random_disjoint_matching(Vertex n, const std::vector<bool>& used,
+[[nodiscard]] Matching random_disjoint_matching(Vertex n,
+                                                const std::vector<std::uint8_t>& used,
                                                 sim::Rng& rng);
 
 // Graph lifting: build a factorization of the all-ones 2N x 2N matrix from

@@ -28,8 +28,8 @@ Graph random_regular_graph(Vertex n, Vertex u, sim::Rng& rng) {
 
   for (int restart = 0; restart < kMaxRestarts; ++restart) {
     Graph g(n);
-    std::vector<bool> used(sz * sz, false);
-    for (std::size_t v = 0; v < sz; ++v) used[v * sz + v] = true;
+    std::vector<std::uint8_t> used(sz * sz, 0);
+    for (std::size_t v = 0; v < sz; ++v) used[v * sz + v] = 1;
     bool ok = true;
     for (Vertex layer = 0; layer < u && ok; ++layer) {
       ok = false;
@@ -46,7 +46,7 @@ Graph random_regular_graph(Vertex n, Vertex u, sim::Rng& rng) {
           for (Vertex v = 0, j = 0; v < n; ++v) {
             if (v != skip) to_full[static_cast<std::size_t>(j++)] = v;
           }
-          std::vector<bool> small_used(small_sz * small_sz, false);
+          std::vector<std::uint8_t> small_used(small_sz * small_sz, 0);
           for (std::size_t a = 0; a < small_sz; ++a) {
             for (std::size_t b = 0; b < small_sz; ++b) {
               small_used[a * small_sz + b] =
@@ -69,7 +69,7 @@ Graph random_regular_graph(Vertex n, Vertex u, sim::Rng& rng) {
         for (Vertex v = 0; v < n; ++v) {
           const Vertex w = m[static_cast<std::size_t>(v)];
           if (v < w) g.add_edge(v, w);
-          used[static_cast<std::size_t>(v) * sz + static_cast<std::size_t>(w)] = true;
+          used[static_cast<std::size_t>(v) * sz + static_cast<std::size_t>(w)] = 1;
         }
         ok = true;
         break;

@@ -24,7 +24,7 @@ void NdpSource::start() {
 }
 
 void NdpSource::send_seq(std::uint64_t seq) {
-  auto pkt = std::make_unique<net::Packet>();
+  auto pkt = net::make_packet();
   pkt->flow_id = flow_.id;
   pkt->seq = seq;
   pkt->src_host = flow_.src_host;

@@ -35,7 +35,7 @@ void RotorLbAgent::add_flow(const Flow& flow) {
 }
 
 std::int64_t RotorLbAgent::emit(const Flow& flow, Segment& seg, std::int32_t relay_rack) {
-  auto pkt = std::make_unique<net::Packet>();
+  auto pkt = net::make_packet();
   pkt->flow_id = flow.id;
   pkt->seq = seg.next_seq++;
   pkt->src_host = flow.src_host;
@@ -66,7 +66,7 @@ std::int64_t RotorLbAgent::drain_voq(std::int32_t rack, std::int64_t budget_byte
     while (seg.next_seq < seg.end_seq && sent < budget_bytes) {
       sent += emit(*flow, seg, relay_rack);
     }
-    if (seg.next_seq == seg.end_seq) q.pop_front();
+    if (seg.next_seq == seg.end_seq) (void)q.pop_front();
   }
   voq_bytes_[static_cast<std::size_t>(rack)] -= sent;
   total_bytes_ -= sent;
@@ -153,7 +153,7 @@ void RotorLbSink::on_stall_check() {
     int sent = 0;
     for (std::uint64_t seq = 0; seq < seen_.size() && sent < kMaxRerequests; ++seq) {
       if (seen_[seq]) continue;
-      auto nack = std::make_unique<net::Packet>();
+      auto nack = net::make_packet();
       nack->flow_id = flow_.id;
       nack->seq = seq;
       nack->src_host = flow_.dst_host;
@@ -187,8 +187,7 @@ std::vector<net::PacketPtr> RotorRelayBuffer::take(std::int32_t rack,
   std::int64_t taken = 0;
   while (!q.empty() && taken + q.front()->size_bytes <= budget_bytes) {
     taken += q.front()->size_bytes;
-    out.push_back(std::move(q.front()));
-    q.pop_front();
+    out.push_back(q.pop_front());
   }
   voq_bytes_[static_cast<std::size_t>(rack)] -= taken;
   total_bytes_ -= taken;

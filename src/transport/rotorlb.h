@@ -15,13 +15,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "net/host.h"
 #include "net/packet.h"
+#include "net/queue.h"
+#include "sim/ring.h"
 #include "transport/flow.h"
 
 namespace opera::transport {
@@ -77,7 +78,7 @@ class RotorLbAgent {
 
   net::Host& host_;
   FlowTracker& tracker_;
-  std::vector<std::deque<Segment>> voq_;
+  std::vector<sim::Ring<Segment>> voq_;
   std::vector<std::int64_t> voq_bytes_;
   std::int64_t total_bytes_ = 0;
 };
@@ -138,7 +139,7 @@ class RotorRelayBuffer {
   [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
 
  private:
-  std::vector<std::deque<net::PacketPtr>> voq_;
+  std::vector<net::PacketRing> voq_;
   std::vector<std::int64_t> voq_bytes_;
   std::int64_t total_bytes_ = 0;
 };

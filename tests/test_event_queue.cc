@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
 #include <vector>
 
 namespace opera::sim {
@@ -96,6 +99,114 @@ TEST(EventQueue, Clear) {
   q.schedule(Time::us(2), [] {});
   q.clear();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeIsExactUnderCancellation) {
+  EventQueue q;
+  auto a = q.schedule(Time::us(1), [] {});
+  auto b = q.schedule(Time::us(2), [] {});
+  auto c = q.schedule(Time::us(3), [] {});
+  EXPECT_EQ(q.size(), 3u);
+  b.cancel();
+  EXPECT_EQ(q.size(), 2u);  // no lazy-drop: cancelled events leave immediately
+  a.cancel();
+  c.cancel();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelThenReschedule) {
+  // The transports' timer idiom: cancel the old handle, schedule a new
+  // event, repeat. The old handle must stay inert even though the slab
+  // slot it pointed at gets reused by the new event.
+  EventQueue q;
+  int fired = -1;
+  EventHandle timer = q.schedule(Time::us(10), [&] { fired = 0; });
+  for (int i = 1; i <= 100; ++i) {
+    timer.cancel();
+    timer = q.schedule(Time::us(10 + i), [&, i] { fired = i; });
+  }
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(EventQueue, StaleHandleCannotCancelSlotReuse) {
+  EventQueue q;
+  bool a_fired = false;
+  bool b_fired = false;
+  auto a = q.schedule(Time::us(1), [&] { a_fired = true; });
+  a.cancel();
+  // b likely reuses a's slot; a's handle must not be able to touch it.
+  auto b = q.schedule(Time::us(2), [&] { b_fired = true; });
+  a.cancel();
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(EventQueue, HandleOutlivesQueue) {
+  EventHandle survivor;
+  {
+    EventQueue q;
+    survivor = q.schedule(Time::us(5), [] {});
+    EXPECT_TRUE(survivor.pending());
+  }
+  EXPECT_FALSE(survivor.pending());
+  survivor.cancel();  // no crash, no effect
+  EventHandle copy = survivor;
+  EXPECT_FALSE(copy.pending());
+}
+
+TEST(EventQueue, CopiedHandleCancels) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule(Time::us(1), [&] { fired = true; });
+  EventHandle copy = h;
+  copy.cancel();
+  EXPECT_FALSE(h.pending());
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, OrderMatchesReferenceUnderChurn) {
+  // Deterministic total order (time, then schedule order) must survive the
+  // calendar's resizes and slot reuse: run a random schedule/cancel churn
+  // and compare the fire sequence against a sorted reference.
+  EventQueue q;
+  std::mt19937_64 rng(7);
+  struct Ref {
+    std::int64_t at;
+    int id;
+  };
+  std::vector<Ref> expected;
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  int next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const auto at = static_cast<std::int64_t>(rng() % 1000);
+    const int id = next_id++;
+    handles.push_back(q.schedule(Time::us(at), [&fired, id] { fired.push_back(id); }));
+    expected.push_back({at, id});
+    if (round % 3 == 1) {
+      const std::size_t victim = rng() % handles.size();
+      if (handles[victim].pending()) {
+        const int vid = static_cast<int>(victim);
+        handles[victim].cancel();
+        std::erase_if(expected, [vid](const Ref& r) { return r.id == vid; });
+      }
+    }
+  }
+  EXPECT_EQ(q.size(), expected.size());
+  while (!q.empty()) q.run_next();
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Ref& a, const Ref& b) { return a.at < b.at; });
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], expected[i].id) << "at index " << i;
+  }
 }
 
 }  // namespace

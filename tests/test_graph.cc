@@ -96,10 +96,10 @@ TEST(Graph, EcmpNextHopsOnGrid) {
   // 4-cycle: two equal-cost next hops from 0 to 2.
   const Graph g = ring(4);
   const auto table = all_pairs_ecmp_next_hops(g);
-  const auto& hops_02 = table[0][2];
+  const auto hops_02 = table.next_hops(0, 2);
   EXPECT_EQ(hops_02.size(), 2u);
   // Next hops toward adjacent vertex: just that vertex.
-  const auto& hops_01 = table[0][1];
+  const auto hops_01 = table.next_hops(0, 1);
   ASSERT_EQ(hops_01.size(), 1u);
   EXPECT_EQ(hops_01[0], 1);
 }
@@ -108,7 +108,7 @@ TEST(Graph, EcmpNextHopsEmptyWhenDisconnected) {
   Graph g(3);
   g.add_edge(0, 1);
   const auto table = all_pairs_ecmp_next_hops(g);
-  EXPECT_TRUE(table[0][2].empty());
+  EXPECT_TRUE(table.next_hops(0, 2).empty());
 }
 
 TEST(Graph, EcmpNextHopsAlwaysMakeProgress) {
@@ -124,8 +124,8 @@ TEST(Graph, EcmpNextHopsAlwaysMakeProgress) {
     const auto dist = bfs_distances(g, dst);
     for (Vertex src = 0; src < 12; ++src) {
       if (src == dst) continue;
-      ASSERT_FALSE(table[src][dst].empty());
-      for (const Vertex nh : table[src][dst]) {
+      ASSERT_FALSE(table.next_hops(src, dst).empty());
+      for (const Vertex nh : table.next_hops(src, dst)) {
         EXPECT_EQ(dist[static_cast<std::size_t>(nh)],
                   dist[static_cast<std::size_t>(src)] - 1);
       }

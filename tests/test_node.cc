@@ -9,7 +9,7 @@ namespace opera::net {
 namespace {
 
 PacketPtr data_packet(std::int32_t bytes, std::uint64_t flow = 1) {
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = make_packet();
   pkt->type = PacketType::kData;
   pkt->tclass = TrafficClass::kLowLatency;
   pkt->size_bytes = bytes;
@@ -178,7 +178,7 @@ TEST(Host, PacerSpacesControl) {
   host.add_port(10e9, sim::Time::zero(), PortQueue::Config{});
   host.uplink().connect(&peer, 0);
   for (int i = 0; i < 3; ++i) {
-    auto pull = std::make_unique<Packet>();
+    auto pull = make_packet();
     pull->type = PacketType::kPull;
     pull->size_bytes = kHeaderBytes;
     host.pace_control(std::move(pull));

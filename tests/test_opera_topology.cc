@@ -113,7 +113,7 @@ TEST(OperaTopology, SliceRoutesReachAllRacks) {
   for (Vertex src = 0; src < 16; ++src) {
     for (Vertex dst = 0; dst < 16; ++dst) {
       if (src == dst) continue;
-      EXPECT_FALSE(routes[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)].empty());
+      EXPECT_FALSE(routes.next_hops(src, dst).empty());
     }
   }
 }

@@ -6,7 +6,7 @@ namespace opera::net {
 namespace {
 
 PacketPtr data_packet(TrafficClass tclass, std::int32_t bytes, std::uint64_t seq = 0) {
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = make_packet();
   pkt->type = PacketType::kData;
   pkt->tclass = tclass;
   pkt->size_bytes = bytes;
@@ -15,7 +15,7 @@ PacketPtr data_packet(TrafficClass tclass, std::int32_t bytes, std::uint64_t seq
 }
 
 PacketPtr control_packet(PacketType type) {
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = make_packet();
   pkt->type = type;
   pkt->tclass = TrafficClass::kLowLatency;
   pkt->size_bytes = kHeaderBytes;

@@ -1,0 +1,97 @@
+#include "sim/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/parallel.h"
+
+namespace opera::sim {
+namespace {
+
+TEST(Ring, StartsWithoutAllocation) {
+  // A default-constructed ring owns no buffer — the property that lets a
+  // fabric hold millions of mostly-empty VOQs.
+  Ring<int> r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Ring, FifoOrder) {
+  Ring<int> r;
+  for (int i = 0; i < 100; ++i) r.push_back(i);
+  EXPECT_EQ(r.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.pop_front(), i);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, PushFront) {
+  Ring<int> r;
+  r.push_back(2);
+  r.push_front(1);
+  r.push_back(3);
+  EXPECT_EQ(r.front(), 1);
+  EXPECT_EQ(r.pop_front(), 1);
+  EXPECT_EQ(r.pop_front(), 2);
+  EXPECT_EQ(r.pop_front(), 3);
+}
+
+TEST(Ring, WrapsAndGrows) {
+  Ring<int> r;
+  // Interleave pushes and pops so head walks around the buffer, then force
+  // growth mid-wrap and check nothing is lost or reordered.
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    r.push_back(next_in++);
+    r.push_back(next_in++);
+    EXPECT_EQ(r.pop_front(), next_out++);
+  }
+  EXPECT_EQ(r.size(), static_cast<std::size_t>(next_in - next_out));
+  while (!r.empty()) EXPECT_EQ(r.pop_front(), next_out++);
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(Ring, MoveOnlyElements) {
+  Ring<std::unique_ptr<int>> r;
+  r.push_back(std::make_unique<int>(7));
+  r.push_back(std::make_unique<int>(8));
+  EXPECT_EQ(*r.front(), 7);
+  auto p = r.pop_front();
+  EXPECT_EQ(*p, 7);
+  r.clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, ForEachVisitsFrontToBack) {
+  Ring<int> r;
+  for (int i = 0; i < 5; ++i) r.push_back(i * 10);
+  (void)r.pop_front();
+  std::string seen;
+  r.for_each([&seen](const int& v) { seen += std::to_string(v) + ","; });
+  EXPECT_EQ(seen, "10,20,30,40,");
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyAndSingle) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  int runs = 0;
+  parallel_for(1, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(64, [](std::size_t i) {
+        if (i == 13) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace opera::sim

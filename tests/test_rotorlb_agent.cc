@@ -129,7 +129,7 @@ TEST(RotorLbAgent, NackRequeuesPacket) {
 TEST(RotorRelayBuffer, StoreAndTake) {
   RotorRelayBuffer buf(4);
   for (int i = 0; i < 3; ++i) {
-    auto pkt = std::make_unique<net::Packet>();
+    auto pkt = net::make_packet();
     pkt->size_bytes = 1'000;
     pkt->dst_rack = 2;
     pkt->vlb_relay = true;
@@ -157,7 +157,7 @@ TEST(RotorLbAgent, SinkIgnoresDuplicates) {
   RotorLbSink sink(*w.b, f, w.tracker);
   for (int round = 0; round < 2; ++round) {
     for (std::uint64_t s = 0; s < f.total_packets(); ++s) {
-      auto pkt = std::make_unique<net::Packet>();
+      auto pkt = net::make_packet();
       pkt->flow_id = f.id;
       pkt->seq = s;
       pkt->type = net::PacketType::kData;

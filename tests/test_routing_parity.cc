@@ -1,0 +1,127 @@
+// CSR routing-table parity: the flat EcmpTable built by
+// all_pairs_ecmp_next_hops must be bit-identical — same next hops, same
+// order — to the seed's nested-vector implementation (kept as
+// all_pairs_ecmp_next_hops_reference) on every topology family the
+// packet-level fabrics route over, including under failures.
+#include <gtest/gtest.h>
+
+#include "topo/expander.h"
+#include "topo/folded_clos.h"
+#include "topo/graph.h"
+#include "topo/opera_topology.h"
+
+namespace opera::topo {
+namespace {
+
+void expect_parity(const Graph& g, const std::string& label) {
+  const EcmpTable csr = all_pairs_ecmp_next_hops(g);
+  const NestedEcmpTable ref = all_pairs_ecmp_next_hops_reference(g);
+  ASSERT_EQ(csr.num_vertices(), g.num_vertices()) << label;
+  std::size_t ref_entries = 0;
+  for (Vertex src = 0; src < g.num_vertices(); ++src) {
+    for (Vertex dst = 0; dst < g.num_vertices(); ++dst) {
+      const auto span = csr.next_hops(src, dst);
+      const auto& nested =
+          ref[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+      ref_entries += nested.size();
+      ASSERT_EQ(span.size(), nested.size())
+          << label << ": cell (" << src << ", " << dst << ")";
+      for (std::size_t i = 0; i < nested.size(); ++i) {
+        ASSERT_EQ(span[i], nested[i])
+            << label << ": cell (" << src << ", " << dst << ") entry " << i;
+      }
+    }
+  }
+  EXPECT_EQ(csr.total_entries(), ref_entries) << label;
+}
+
+TEST(RoutingParity, OperaSlicesSmall) {
+  OperaParams p;
+  p.num_racks = 16;
+  p.num_switches = 4;
+  p.seed = 3;
+  const OperaTopology topo(p);
+  for (int s = 0; s < topo.num_slices(); ++s) {
+    expect_parity(topo.slice_graph(s), "opera16 slice " + std::to_string(s));
+  }
+}
+
+TEST(RoutingParity, OperaSlicesPaperScale) {
+  OperaParams p;  // defaults: N=108, u=6
+  p.seed = 1;
+  const OperaTopology topo(p);
+  for (const int s : {0, 1, 53, 107}) {
+    expect_parity(topo.slice_graph(s), "opera108 slice " + std::to_string(s));
+  }
+}
+
+TEST(RoutingParity, OperaUnderFailures) {
+  OperaParams p;
+  p.num_racks = 16;
+  p.num_switches = 4;
+  p.seed = 3;
+  const OperaTopology topo(p);
+  auto failures = FailureSet::none(16, 4);
+  failures.switch_failed[1] = true;
+  failures.uplink_failed[3][2] = true;
+  failures.rack_failed[7] = true;
+  for (int s = 0; s < topo.num_slices(); ++s) {
+    expect_parity(topo.slice_graph(s, &failures),
+                  "opera16+failures slice " + std::to_string(s));
+    // slice_routes() must agree with building the table by hand.
+    EXPECT_EQ(topo.slice_routes(s, &failures),
+              all_pairs_ecmp_next_hops(topo.slice_graph(s, &failures)));
+  }
+}
+
+TEST(RoutingParity, OperaPaperScaleUnderFailures) {
+  OperaParams p;  // N=108, u=6
+  p.seed = 1;
+  const OperaTopology topo(p);
+  auto failures = FailureSet::none(p.num_racks, p.num_switches);
+  failures.switch_failed[2] = true;
+  failures.uplink_failed[17][4] = true;
+  for (const int s : {0, 54}) {
+    expect_parity(topo.slice_graph(s, &failures),
+                  "opera108+failures slice " + std::to_string(s));
+  }
+}
+
+TEST(RoutingParity, Expander) {
+  for (const Vertex tors : {Vertex{16}, Vertex{108}}) {
+    ExpanderParams p;
+    p.num_tors = tors;
+    p.uplinks = tors >= 100 ? 7 : 5;
+    p.hosts_per_tor = 5;
+    p.seed = 1;
+    const ExpanderTopology topo(p);
+    expect_parity(topo.graph(), "expander " + std::to_string(tors));
+    EXPECT_EQ(topo.routes(), all_pairs_ecmp_next_hops(topo.graph()));
+  }
+}
+
+TEST(RoutingParity, FoldedClos) {
+  // k=8 (toy) and the paper's k=12 3:1 Clos switch graphs: hierarchical,
+  // unlike the flat matchings above — exercises multi-NIC ECMP fan-out
+  // through aggs and cores.
+  for (const int radix : {8, 12}) {
+    ClosParams p;
+    p.radix = radix;
+    p.oversubscription = 3;
+    const FoldedClos clos(p);
+    expect_parity(clos.switch_graph(), "clos k=" + std::to_string(radix));
+  }
+}
+
+TEST(RoutingParity, DisconnectedAndTrivialGraphs) {
+  Graph lonely(1);
+  expect_parity(lonely, "single vertex");
+  Graph two(5);
+  two.add_edge(0, 1);
+  two.add_edge(2, 3);  // vertex 4 isolated
+  expect_parity(two, "disconnected components");
+  expect_parity(Graph{}, "empty graph");
+}
+
+}  // namespace
+}  // namespace opera::topo
