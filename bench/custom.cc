@@ -52,13 +52,17 @@ int usage() {
       "  --fabric=opera|clos|expander|rotornet   (default opera)\n"
       "  --racks=N                               (default 108)\n"
       "  --hosts-per-rack=D                      (default 6; Opera u = D)\n"
-      "  --workload=poisson|permutation|shuffle  (default poisson)\n"
+      "  --workload=poisson|permutation|shuffle|incast|storage|ml\n"
+      "                                          (default poisson)\n"
       "  --load=F          poisson offered load  (default 0.10)\n"
       "  --dist=datamining|websearch|hadoop      (default datamining)\n"
-      "  --flow-kb=K       permutation/shuffle flow size (default 100)\n"
+      "  --flow-kb=K       fixed-size-flow workloads' flow/object/chunk\n"
+      "                    size (default 100; ml: per-member model size)\n"
       "  --duration-ms=T   poisson arrival window (default 1)\n"
       "  --horizon-ms=T    simulation horizon     (default 50)\n"
       "  --seed=S                                (default 1)\n"
+      "  --slice-window=W  Opera resident slice tables (default 0 = auto:\n"
+      "                    eager if all fit 256 MB, else windowed+LRU)\n"
       "  --construct-only  build the network, skip the traffic run\n"
       "  --csv | --json    output format\n");
   return 2;
@@ -92,6 +96,8 @@ int main(int argc, char** argv) {
   core::FabricConfig config = core::FabricConfig::make(*kind);
   config.scale(racks, hosts_per_rack);
   config.seed = seed;
+  config.slice_table_window =
+      static_cast<int>(arg_long(argc, argv, "--slice-window", 0));
 
   const auto build_start = std::chrono::steady_clock::now();
   auto net = core::NetworkFactory::build(config);
@@ -120,6 +126,19 @@ int main(int argc, char** argv) {
   } else if (workload_name == "shuffle") {
     flows = workload::shuffle_workload(net->num_hosts(), hosts_per_rack, flow_bytes,
                                        sim::Time::zero(), rng);
+  } else if (workload_name == "incast") {
+    workload::IncastParams p;
+    p.flow_bytes = flow_bytes;
+    flows = workload::incast_workload(net->num_hosts(), hosts_per_rack, p, rng);
+  } else if (workload_name == "storage") {
+    workload::StorageReplicationParams p;
+    p.object_bytes = flow_bytes;
+    flows = workload::storage_replication_workload(net->num_hosts(), hosts_per_rack,
+                                                   p, rng);
+  } else if (workload_name == "ml") {
+    workload::MlCollectiveParams p;
+    p.model_bytes = flow_bytes;
+    flows = workload::ml_collective_workload(net->num_hosts(), hosts_per_rack, p, rng);
   } else {
     std::fprintf(stderr, "bench_custom: unknown workload '%s'\n",
                  workload_name.c_str());
@@ -142,5 +161,19 @@ int main(int argc, char** argv) {
                  exp::Value(status.ended_at.to_ms(), 3), exp::Value(run_seconds, 3),
                  static_cast<std::int64_t>(net->sim().events_executed())});
   ex.emit_fct_rows(fabric_name, load * 100.0, *net);
+
+  if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {
+    const auto& cache = opera_net->slice_tables();
+    const auto& st = cache.stats();
+    ex.report().note(
+        "slice tables: %s window %d of %d, resident %zu (%.1f MB, peak %.1f MB), "
+        "builds %llu demand + %llu prefetch, evictions %llu",
+        cache.eager() ? "eager" : "windowed", cache.window(), cache.num_slices(),
+        st.resident, st.resident_bytes / 1e6, st.peak_resident_bytes / 1e6,
+        static_cast<unsigned long long>(st.demand_builds),
+        static_cast<unsigned long long>(st.prefetch_builds),
+        static_cast<unsigned long long>(st.evictions));
+  }
+  ex.report().note("peak RSS %.1f MB", exp::peak_rss_bytes() / 1e6);
   return 0;
 }

@@ -1,0 +1,109 @@
+// bench_scale_sweep — the datacenter traffic patterns the paper motivates
+// but never sweeps (incast, storage replication, ML ring all-reduce),
+// driven through Opera at two scales:
+//
+//   quick  : the 16x4 laptop testbed (CI per-PR run)
+//   --full : k=24 — 432 racks x 12 hosts (5184 hosts), the ROADMAP's
+//            paper-scale target. Only feasible with the windowed
+//            slice-table cache: 432 eager tables cost ~840 MB, the
+//            auto-sized window stays under the 256 MB table budget.
+//
+// Both modes emit the same table shapes (the baseline row fingerprint is
+// scale-independent): per-pattern run and slice-cache rows, the standard
+// FCT buckets, and a process-wide peak-RSS row.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/opera_network.h"
+#include "exp/experiment.h"
+#include "exp/testbed.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace opera;
+
+struct Pattern {
+  std::string name;
+  std::vector<workload::FlowSpec> flows;
+};
+
+std::vector<Pattern> make_patterns(bool full, std::int32_t num_hosts,
+                                   std::int32_t hosts_per_rack) {
+  std::vector<Pattern> out;
+  {
+    sim::Rng rng(11);
+    workload::IncastParams p;
+    p.events = full ? 12 : 6;
+    p.fanin = full ? 128 : 24;
+    p.flow_bytes = 64'000;
+    out.push_back({"incast", workload::incast_workload(num_hosts, hosts_per_rack,
+                                                       p, rng)});
+  }
+  {
+    sim::Rng rng(12);
+    workload::StorageReplicationParams p;
+    p.writes = full ? 128 : 24;
+    p.object_bytes = full ? 4'000'000 : 2'000'000;
+    out.push_back({"storage", workload::storage_replication_workload(
+                                  num_hosts, hosts_per_rack, p, rng)});
+  }
+  {
+    sim::Rng rng(13);
+    workload::MlCollectiveParams p;
+    p.group_size = full ? 16 : 8;
+    p.model_bytes = full ? 2'000'000 : 1'000'000;
+    // One training job on a slice of the cluster: rings never need the
+    // whole fabric, and capping the job keeps the --full flow count sane.
+    const std::int32_t job_hosts = std::min<std::int32_t>(num_hosts, full ? 512 : 64);
+    out.push_back({"ml_collective", workload::ml_collective_workload(
+                                        job_hosts, hosts_per_rack, p, rng)});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Experiment ex("scale sweep (incast / storage / ML collective)", argc, argv);
+  const bool full = ex.full();
+
+  core::FabricConfig config =
+      full ? core::FabricConfig::make(core::FabricKind::kOpera).scale(432, 12)
+           : exp::Testbed::quick().opera();
+
+  const auto patterns =
+      make_patterns(full, config.num_hosts(), config.opera.hosts_per_rack);
+
+  auto& run_table = ex.report().table(
+      "run", {"pattern", "flows", "completed", "sim_ms", "wall_s"});
+  auto& cache_table = ex.report().table(
+      "slice_cache", {"pattern", "mode", "window", "slices", "peak_mb",
+                      "demand_builds", "prefetch_builds", "evictions"});
+
+  for (const auto& pattern : patterns) {
+    exp::Experiment::RunOptions opts;
+    opts.horizon = sim::Time::ms(full ? 200 : 50);
+    const auto result = ex.run(pattern.name, config, pattern.flows, opts);
+    run_table.row({pattern.name, static_cast<std::int64_t>(pattern.flows.size()),
+                   static_cast<std::int64_t>(result.net->tracker().completed()),
+                   exp::Value(result.status.ended_at.to_ms(), 3),
+                   exp::Value(result.wall_seconds, 2)});
+    ex.emit_fct_rows(pattern.name, 100.0, *result.net);
+
+    const auto& cache =
+        dynamic_cast<const core::OperaNetwork&>(*result.net).slice_tables();
+    const auto& st = cache.stats();
+    cache_table.row({pattern.name, cache.eager() ? "eager" : "windowed",
+                     cache.window(), cache.num_slices(),
+                     exp::Value(st.peak_resident_bytes / 1e6, 1),
+                     static_cast<std::int64_t>(st.demand_builds),
+                     static_cast<std::int64_t>(st.prefetch_builds),
+                     static_cast<std::int64_t>(st.evictions)});
+  }
+
+  auto& memory_table = ex.report().table("memory", {"peak_rss_mb"});
+  memory_table.row({exp::Value(exp::peak_rss_bytes() / 1e6, 1)});
+  return 0;
+}

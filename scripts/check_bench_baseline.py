@@ -17,6 +17,9 @@ Checks, per bench recorded in the baseline:
 Benches present in the results but absent from the baseline warn by
 default (fail with --strict): regenerate the baseline when adding one
 (scripts/record_bench_baseline.py bench-results > BENCH_BASELINE.json).
+
+The drift logic itself lives in compare_to_baseline() — a pure function
+over parsed inputs, unit-tested by tests/test_check_bench_baseline.py.
 """
 import json
 import os
@@ -36,6 +39,78 @@ WALL_RATIO = float(os.environ.get("BENCH_WALL_RATIO", "1.25"))
 WALL_SLACK_S = float(os.environ.get("BENCH_WALL_SLACK_S", "0.5"))
 
 
+def compare_to_baseline(baseline, timings, csv_tables,
+                        wall_ratio=WALL_RATIO, wall_slack_s=WALL_SLACK_S,
+                        full_baseline=None):
+    """The drift logic, as a pure function over parsed inputs.
+
+    baseline:   {bench: {"wall_s": float|None, "table_rows": {table: rows}}}
+    timings:    {bench: {"wall_s": float, "status": str}} from timings.txt
+    csv_tables: {bench: {table: rows}} for every bench that produced a CSV
+    full_baseline: like `baseline` but recorded from --full paper-scale
+        runs (the "full_benches" section). Full runs don't happen per PR,
+        so these are not wall-gated; benches recorded there are expected
+        to have scale-independent table shapes, and the quick run's row
+        counts are cross-checked against the full fingerprint.
+
+    Returns (failures, warnings, report_lines). A failing bench is always
+    named in its message, and wall-clock failures carry both the old and
+    the new time plus the blown budget.
+    """
+    failures = []
+    warnings = []
+    report = []
+    for name, base in sorted(baseline.items()):
+        # Every baseline bench must have run this time: a stale CSV left in
+        # the results dir must not cover for a deleted or renamed bench.
+        if name not in timings:
+            failures.append(f"{name}: missing from timings.txt (bench gone or crashed)")
+            continue
+        # Benches with a recorded table fingerprint must produce a CSV;
+        # text-output benches (bench_micro_core) are wall-clock-gated only.
+        if base.get("table_rows"):
+            if name not in csv_tables:
+                failures.append(f"{name}: no CSV produced (bench crashed?)")
+                continue
+            rows = csv_tables[name]
+            if rows != base["table_rows"]:
+                drifted = sorted(set(base["table_rows"]) | set(rows))
+                detail = ", ".join(
+                    f"{t}: {base['table_rows'].get(t, 'absent')} -> {rows.get(t, 'absent')}"
+                    for t in drifted
+                    if base["table_rows"].get(t) != rows.get(t))
+                failures.append(f"{name}: table-row drift — {detail}")
+
+        base_wall = base.get("wall_s")
+        new_wall = timings.get(name, {}).get("wall_s")
+        if base_wall is not None and new_wall is not None:
+            budget = base_wall * wall_ratio + wall_slack_s
+            verdict = "OK"
+            if new_wall > budget:
+                ratio = new_wall / base_wall if base_wall > 0 else float("inf")
+                failures.append(
+                    f"{name}: wall-clock regression — {new_wall:.2f}s vs baseline "
+                    f"{base_wall:.2f}s ({ratio:.2f}x, budget {budget:.2f}s)")
+                verdict = "FAIL"
+            report.append(f"  {name:<42} {base_wall:7.2f}s -> {new_wall:7.2f}s  {verdict}")
+
+    for name, base in sorted((full_baseline or {}).items()):
+        if not base.get("table_rows") or name not in csv_tables:
+            continue
+        rows = csv_tables[name]
+        if rows != base["table_rows"]:
+            failures.append(
+                f"{name}: quick-run table shape diverged from the paper-scale "
+                f"(--full) baseline — full {base['table_rows']}, quick {rows}; "
+                "these benches must emit scale-independent shapes")
+
+    for name in sorted(timings):
+        if name.startswith("bench_") and name not in baseline:
+            warnings.append(f"{name}: not in baseline — regenerate "
+                            "BENCH_BASELINE.json to start tracking it")
+    return failures, warnings, report
+
+
 def main() -> int:
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     strict = "--strict" in sys.argv
@@ -51,46 +126,20 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
-    baseline = json.loads(baseline_path.read_text())["benches"]
+    baseline_doc = json.loads(baseline_path.read_text())
+    baseline = baseline_doc["benches"]
+    full_baseline = baseline_doc.get("full_benches", {})
     timings = parse_timings(timings_file)
+    csv_tables = {}
+    for name in set(baseline) | set(full_baseline):
+        csv = results / f"{name}.csv"
+        if csv.exists():
+            csv_tables[name] = parse_csv_tables(csv)
 
-    failures = []
-    warnings = []
-    for name, base in sorted(baseline.items()):
-        # Every baseline bench must have run this time: a stale CSV left in
-        # the results dir must not cover for a deleted or renamed bench.
-        if name not in timings:
-            failures.append(f"{name}: missing from timings.txt (bench gone or crashed)")
-            continue
-        # Benches with a recorded table fingerprint must produce a CSV;
-        # text-output benches (bench_micro_core) are wall-clock-gated only.
-        if base.get("table_rows"):
-            csv = results / f"{name}.csv"
-            if not csv.exists():
-                failures.append(f"{name}: no CSV produced (bench crashed?)")
-                continue
-            rows = parse_csv_tables(csv)
-            if rows != base["table_rows"]:
-                failures.append(
-                    f"{name}: table-row drift — baseline {base['table_rows']}, got {rows}")
-
-        base_wall = base.get("wall_s")
-        new_wall = timings.get(name, {}).get("wall_s")
-        if base_wall is not None and new_wall is not None:
-            budget = base_wall * WALL_RATIO + WALL_SLACK_S
-            verdict = "OK"
-            if new_wall > budget:
-                failures.append(
-                    f"{name}: wall-clock regression — {new_wall:.2f}s vs baseline "
-                    f"{base_wall:.2f}s (budget {budget:.2f}s)")
-                verdict = "FAIL"
-            print(f"  {name:<42} {base_wall:7.2f}s -> {new_wall:7.2f}s  {verdict}")
-
-    for name in sorted(timings):
-        if name.startswith("bench_") and name not in baseline:
-            warnings.append(f"{name}: not in baseline — regenerate "
-                            "BENCH_BASELINE.json to start tracking it")
-
+    failures, warnings, report = compare_to_baseline(
+        baseline, timings, csv_tables, full_baseline=full_baseline)
+    for line in report:
+        print(line)
     for w in warnings:
         print(f"warning: {w}", file=sys.stderr)
     if failures or (strict and warnings):

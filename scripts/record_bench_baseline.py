@@ -5,10 +5,24 @@ Usage:
     scripts/run_all_benches.sh build bench-results
     scripts/record_bench_baseline.py bench-results > BENCH_BASELINE.json
 
+    # optionally fold in paper-scale runs recorded separately:
+    scripts/run_all_benches.sh build bench-results-full --full
+    scripts/record_bench_baseline.py bench-results \
+        --full-results=bench-results-full > BENCH_BASELINE.json
+
 Captures, per bench: wall-clock seconds (from timings.txt) and, per table,
 the number of data rows — a cheap machine-readable fingerprint of each
 figure's output shape. Full outputs stay in bench-results/*.csv; CI
 uploads them as artifacts for value-level diffs.
+
+`--full-results=DIR` records a second set of entries under "full_benches":
+paper-scale (`--full`) wall-clock + table fingerprints. CI runs quick mode
+only, so these entries are *not* wall-gated per PR; for benches designed
+with scale-independent table shapes (bench_scale_sweep), the checker
+cross-checks the quick run's row counts against the full entry. Without
+`--full-results`, any existing "full_benches" section is carried over from
+the prior baseline (default BENCH_BASELINE.json in the cwd; override with
+`--baseline=PATH`) so quick-only regenerations never drop it.
 
 check_bench_baseline.py imports parse_csv_tables/parse_timings from here,
 so the recorder and the CI gate always agree on the result format.
@@ -43,26 +57,65 @@ def parse_timings(path: pathlib.Path):
     return timings
 
 
-def main() -> int:
-    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench-results")
+def collect_benches(results: pathlib.Path):
+    """{bench: {wall_s, table_rows}} for every timed bench in `results`.
+
+    Every timed bench gets a wall-clock baseline — including ones with no
+    CSV (bench_micro_core emits Google-Benchmark text), which would
+    otherwise be exempt from the CI wall-clock gate; table fingerprints
+    only exist for CSV producers.
+    """
     timings_file = results / "timings.txt"
     if not timings_file.exists():
-        print(f"error: {timings_file} not found; run scripts/run_all_benches.sh first",
-              file=sys.stderr)
-        return 1
-
-    timings = parse_timings(timings_file)
-    baseline = {"preset": "release", "benches": {}}
-    # Every timed bench gets a wall-clock baseline — including ones with no
-    # CSV (bench_micro_core emits Google-Benchmark text), which would
-    # otherwise be exempt from the CI wall-clock gate; table fingerprints
-    # only exist for CSV producers.
-    for name, t in sorted(timings.items()):
+        raise FileNotFoundError(
+            f"{timings_file} not found; run scripts/run_all_benches.sh first")
+    benches = {}
+    for name, t in sorted(parse_timings(timings_file).items()):
         csv = results / f"{name}.csv"
-        baseline["benches"][name] = {
+        benches[name] = {
             "wall_s": t.get("wall_s"),
             "table_rows": parse_csv_tables(csv) if csv.exists() else {},
         }
+    return benches
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    results = pathlib.Path(args[0] if args else "bench-results")
+    full_results = None
+    prior_path = pathlib.Path("BENCH_BASELINE.json")
+    for a in sys.argv[1:]:
+        if a.startswith("--full-results="):
+            full_results = pathlib.Path(a.split("=", 1)[1])
+        elif a.startswith("--baseline="):
+            prior_path = pathlib.Path(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            # Fail loudly on e.g. the space form `--full-results DIR`:
+            # silently ignoring it would drop a minutes-long --full run and
+            # carry stale full_benches entries forward instead.
+            print(f"error: unknown option {a!r} (flags take the --key=value "
+                  "form: --full-results=DIR, --baseline=PATH)", file=sys.stderr)
+            return 2
+
+    try:
+        baseline = {"preset": "release", "benches": collect_benches(results)}
+        if full_results is not None:
+            baseline["full_benches"] = collect_benches(full_results)
+        elif prior_path.exists():
+            # A quick-only regeneration must not throw away the recorded
+            # paper-scale entries — a --full run costs minutes to redo and
+            # losing it would silently disable the full-vs-quick shape
+            # cross-check. Carry the section over from the prior baseline
+            # (point elsewhere with --baseline=PATH).
+            prior_full = json.loads(prior_path.read_text()).get("full_benches")
+            if prior_full:
+                baseline["full_benches"] = prior_full
+                print(f"note: carried over {len(prior_full)} full_benches "
+                      f"entr{'y' if len(prior_full) == 1 else 'ies'} from "
+                      f"{prior_path}", file=sys.stderr)
+    except FileNotFoundError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
     json.dump(baseline, sys.stdout, indent=2, sort_keys=True)
     print()
     return 0

@@ -10,6 +10,7 @@
 #include "net/queue.h"
 #include "sim/time.h"
 #include "topo/opera_topology.h"
+#include "topo/slice_table_cache.h"
 #include "transport/ndp.h"
 
 namespace opera::core {
@@ -41,6 +42,14 @@ struct OperaConfig {
   std::int64_t bulk_threshold_bytes = 15'000'000;
   bool enable_vlb = true;  // RotorLB two-hop fallback for skewed demand
   std::uint64_t seed = 42;
+
+  // Windowed slice-table cache (topo/slice_table_cache.h): number of
+  // per-slice ECMP tables kept resident. 0 = auto — eager (all slices,
+  // the historical behavior) while the full set fits the memory budget,
+  // otherwise the largest window that does. At paper scale (N=108,
+  // ~35 MB total) auto stays eager; at k=24 (N=432, ~840 MB) it windows.
+  int slice_table_window = 0;
+  std::size_t slice_table_budget_bytes = topo::SliceTableCache::kDefaultBudgetBytes;
 
   // Queue provisioning (paper §4.1-4.2): shallow low-latency queues keep
   // epsilon small; ToR bulk queues hold about two slices of circuit data.

@@ -144,6 +144,8 @@ OperaConfig FabricConfig::opera_config() const {
   cfg.bulk_threshold_bytes = bulk_threshold_bytes;
   cfg.enable_vlb = enable_vlb;
   cfg.seed = seed;
+  cfg.slice_table_window = slice_table_window;
+  cfg.slice_table_budget_bytes = slice_table_budget_bytes;
   return cfg;
 }
 

@@ -57,6 +57,10 @@ struct FabricConfig {
   bool priority_queueing = true;  // static fabrics: bulk rides a lower band
   bool enable_vlb = true;         // Opera: RotorLB two-hop fallback
   std::uint64_t seed = 42;        // network-level (non-topology) randomness
+  // Opera: resident per-slice routing tables (0 = auto-size from the
+  // budget; see OperaConfig::slice_table_window). CLI: --slice-window.
+  int slice_table_window = 0;
+  std::size_t slice_table_budget_bytes = topo::SliceTableCache::kDefaultBudgetBytes;
 
   // Paper-scale defaults for `kind` (the structure defaults above).
   [[nodiscard]] static FabricConfig make(FabricKind kind);

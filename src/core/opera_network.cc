@@ -5,8 +5,6 @@
 #include <cstdio>
 #include <numeric>
 
-#include "sim/parallel.h"
-
 namespace opera::core {
 
 OperaNetwork::OperaNetwork(const OperaConfig& config)
@@ -22,11 +20,18 @@ OperaNetwork::OperaNetwork(const OperaConfig& config)
   install_forwarding();
   install_host_handlers();
 
-  // Precompute the per-slice low-latency forwarding tables (paper §4.3:
-  // all routing state is known at design time). Slices are independent, so
-  // the N tables build in parallel — at k=24 scale (432 slices) this is
-  // the dominant construction cost.
-  build_slice_routes(nullptr);
+  // Per-slice low-latency forwarding tables (paper §4.3: all routing state
+  // is known at design time). Slices are independent, so tables build in
+  // parallel. Eager mode precomputes all N up front — at k=24 scale (432
+  // slices, ~840 MB) the auto window instead keeps a small set resident,
+  // prefetched ahead of the rotation at each slice boundary.
+  slice_tables_ = topo::SliceTableCache(
+      topo_.num_slices(),
+      {config_.slice_table_window, config_.slice_table_budget_bytes},
+      [this](int s) {
+        return topo_.slice_routes(
+            s, route_around_failures_ ? &table_failures_ : nullptr);
+      });
 
   // Physical wiring of slice 0, then the slice clock.
   wire_slice(0);
@@ -160,6 +165,11 @@ void OperaNetwork::on_slice_boundary(std::int64_t abs_slice) {
     }
   });
 
+  // Keep the table window ahead of the rotation: build what the next
+  // window() slices need (in parallel), evict what fell behind. Eager mode
+  // has everything resident already.
+  if (!slice_tables_.eager()) slice_tables_.prefetch(slice);
+
   allocate_bulk(slice);
 
   sim_.schedule_in(config_.slice.duration,
@@ -266,8 +276,12 @@ void OperaNetwork::install_forwarding() {
       if (low_latency_path) {
         if (pkt.dst_rack == rack) return pkt.dst_host - rack * d;
         const int rslice = routing_slice();
-        const auto nexts =
-            slice_routes_[static_cast<std::size_t>(rslice)].next_hops(rack, pkt.dst_rack);
+        // peek() keeps the per-packet path free of cache bookkeeping; the
+        // boundary prefetch guarantees residency in steady state, and the
+        // get() fallback only fires on out-of-window reads.
+        const topo::EcmpTable* table = slice_tables_.peek(rslice);
+        if (table == nullptr) table = &slice_tables_.get(rslice);
+        const auto nexts = table->next_hops(rack, pkt.dst_rack);
         if (nexts.empty()) return -1;
         const topo::Vertex next = nexts[rng_.index(nexts.size())];
         const int sw = uplink_to(rslice, rack, next);
@@ -403,15 +417,18 @@ void OperaNetwork::inject_switch_failure(int rotor_switch) {
   sim_.schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
 }
 
-void OperaNetwork::build_slice_routes(const topo::FailureSet* failures) {
-  slice_routes_.resize(static_cast<std::size_t>(topo_.num_slices()));
-  sim::parallel_for(slice_routes_.size(), [&](std::size_t s) {
-    slice_routes_[s] = topo_.slice_routes(static_cast<int>(s), failures);
-  });
-}
-
 void OperaNetwork::recompute_after_failure() {
-  build_slice_routes(&failures_);
+  // Only cached entries are touched: drop them all (their content predates
+  // the failure), then rebuild the active window in parallel — the full
+  // set when eager, the slices around the rotation otherwise; anything
+  // else rebuilds on demand. Builds run against a snapshot of the failure
+  // set taken now — the reconvergence instant — so a failure injected
+  // *after* this point stays invisible to rebuilt tables until its own
+  // recompute fires, exactly like the eager precompute behaved.
+  route_around_failures_ = true;
+  table_failures_ = failures_;
+  slice_tables_.invalidate_all();
+  slice_tables_.prefetch(current_slice_);
   // Recompute direct reachability, purge relay buffers of traffic whose
   // final direct circuit no longer exists (its matching lived on a failed
   // switch/uplink), and stop routing new VLB traffic through dead-end

@@ -25,6 +25,7 @@
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "topo/opera_topology.h"
+#include "topo/slice_table_cache.h"
 #include "transport/flow.h"
 #include "transport/ndp.h"
 #include "transport/rotorlb.h"
@@ -93,10 +94,15 @@ class OperaNetwork : public Network {
   void inject_switch_failure(int rotor_switch);
   [[nodiscard]] const topo::FailureSet& failures() const { return failures_; }
 
+  // The per-slice low-latency table store (paper §4.3). Eager (all N
+  // tables precomputed) or a sliding window around the current slice,
+  // per OperaConfig::slice_table_window; see topo/slice_table_cache.h.
+  [[nodiscard]] const topo::SliceTableCache& slice_tables() const {
+    return slice_tables_;
+  }
+
  private:
   void build_nodes();
-  // (Re)builds all N per-slice tables, in parallel across slices.
-  void build_slice_routes(const topo::FailureSet* failures);
   void recompute_after_failure();
   void wire_slice(int slice);
   void on_slice_boundary(std::int64_t abs_slice);
@@ -126,9 +132,17 @@ class OperaNetwork : public Network {
   std::vector<std::unique_ptr<transport::NdpSink>> ndp_sinks_;
   std::vector<std::unique_ptr<transport::RotorLbSink>> bulk_sinks_;
 
-  // Precomputed per-slice low-latency ECMP tables (paper §4.3).
-  std::vector<topo::EcmpTable> slice_routes_;
+  // Per-slice low-latency ECMP tables (paper §4.3): eager or windowed.
+  topo::SliceTableCache slice_tables_;
   topo::FailureSet failures_;
+  // The failure set tables are built against: a snapshot of failures_
+  // taken at each hello-protocol reconvergence (recompute_after_failure),
+  // NOT the live set — a freshly injected failure must not leak into
+  // windowed rebuilds before the ToRs have "learned" of it, or windowed
+  // and eager runs would diverge. Only consulted once
+  // route_around_failures_ is set.
+  topo::FailureSet table_failures_;
+  bool route_around_failures_ = false;
   // relay_reach_[r][dst]: rack r still gets a direct circuit to dst in some
   // slice (used to keep VLB from picking dead-end relays after failures).
   std::vector<std::vector<bool>> relay_reach_;

@@ -29,6 +29,11 @@ struct CliOptions {
   static bool has_flag(int argc, char** argv, const char* flag);
 };
 
+// Peak resident-set size of this process in bytes (Linux VmHWM; 0 where
+// the platform doesn't expose it). The scale benches report it so memory
+// regressions — the k=24 slice-table story — are visible in CI artifacts.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
 // One typed cell. Doubles carry their print precision so human, CSV and
 // JSON renderings agree on the numeric text.
 class Value {

@@ -31,9 +31,11 @@ void OutPort::pump() {
   Node* peer = peer_;
   const int in_port = peer_in_port_;
   const sim::Time arrival_delay = serialization + latency_;
-  auto* raw = pkt.release();
-  sim_.schedule_in(arrival_delay, [peer, in_port, raw] {
-    peer->receive(PacketPtr{raw}, in_port);
+  // The callback owns the packet (SmallCallback is move-only-capable), so
+  // an in-flight packet whose arrival never fires — simulator torn down
+  // mid-run — is still reclaimed.
+  sim_.schedule_in(arrival_delay, [peer, in_port, pkt = std::move(pkt)]() mutable {
+    peer->receive(std::move(pkt), in_port);
   });
   sim_.schedule_in(serialization, [this] {
     busy_ = false;

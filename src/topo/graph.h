@@ -74,6 +74,13 @@ class EcmpTable {
   // Total number of stored next-hop entries (the routing-state footprint).
   [[nodiscard]] std::size_t total_entries() const { return hops_.size(); }
 
+  // Heap + object bytes held by this table (drives the slice-table cache's
+  // memory-budgeted window sizing; see topo/slice_table_cache.h).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + offsets_.capacity() * sizeof(std::uint32_t) +
+           hops_.capacity() * sizeof(Vertex);
+  }
+
   friend bool operator==(const EcmpTable&, const EcmpTable&) = default;
 
  private:

@@ -1,0 +1,117 @@
+#include "topo/slice_table_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+#include "sim/parallel.h"
+
+namespace opera::topo {
+
+SliceTableCache::SliceTableCache(int num_slices, Config config, Builder builder)
+    : num_slices_(num_slices), builder_(std::move(builder)) {
+  assert(num_slices_ > 0 && builder_);
+  slots_.resize(static_cast<std::size_t>(num_slices_));
+  last_use_.assign(static_cast<std::size_t>(num_slices_), 0);
+
+  if (config.window > 0) {
+    window_ = std::min(std::max(config.window, kMinWindow), num_slices_);
+  } else {
+    // Auto: size the window off one measured table (slice 0 — we would
+    // build it first anyway; all slices have the same table shape).
+    EcmpTable probe = builder_(0);
+    const std::size_t per_table = std::max<std::size_t>(1, probe.memory_bytes());
+    install(0, std::move(probe));
+    touch(0);
+    const std::size_t all = per_table * static_cast<std::size_t>(num_slices_);
+    if (all <= config.memory_budget_bytes) {
+      window_ = num_slices_;
+    } else {
+      const auto fit = static_cast<int>(config.memory_budget_bytes / per_table);
+      window_ = std::clamp(fit, kMinWindow, num_slices_);
+    }
+  }
+
+  // Eager mode keeps the pre-cache construction behavior: every table is
+  // built up front, in parallel across slices.
+  if (eager()) prefetch(0);
+}
+
+const EcmpTable& SliceTableCache::get(int slice) {
+  assert(slice >= 0 && slice < num_slices_);
+  auto& slot = slots_[static_cast<std::size_t>(slice)];
+  if (slot == nullptr) {
+    ++stats_.demand_builds;
+    install(slice, builder_(slice));
+    touch(slice);
+    evict_beyond_window();
+  } else {
+    ++stats_.hits;
+    touch(slice);
+  }
+  return *slot;
+}
+
+void SliceTableCache::prefetch(int first) {
+  assert(first >= 0 && first < num_slices_);
+  // Collect the missing slices of the window [first, first + window).
+  std::vector<int> missing;
+  for (int i = 0; i < window_; ++i) {
+    const int s = (first + i) % num_slices_;
+    if (slots_[static_cast<std::size_t>(s)] == nullptr) missing.push_back(s);
+  }
+  if (!missing.empty()) {
+    // Build into detached tables first: parallel workers touch disjoint
+    // elements of `built` only; cache bookkeeping stays single-threaded.
+    std::vector<EcmpTable> built(missing.size());
+    sim::parallel_for(missing.size(),
+                      [&](std::size_t i) { built[i] = builder_(missing[i]); });
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      install(missing[i], std::move(built[i]));
+      ++stats_.prefetch_builds;
+    }
+  }
+  // Freshen the whole window in rotation order so LRU eviction only ever
+  // claims slices behind `first`.
+  for (int i = window_ - 1; i >= 0; --i) touch((first + i) % num_slices_);
+  evict_beyond_window();
+}
+
+void SliceTableCache::invalidate_all() {
+  for (auto& slot : slots_) slot.reset();
+  std::fill(last_use_.begin(), last_use_.end(), 0);
+  stats_.resident = 0;
+  stats_.resident_bytes = 0;
+}
+
+void SliceTableCache::install(int slice, EcmpTable table) {
+  auto& slot = slots_[static_cast<std::size_t>(slice)];
+  assert(slot == nullptr);
+  slot = std::make_unique<EcmpTable>(std::move(table));
+  ++stats_.resident;
+  stats_.resident_bytes += slot->memory_bytes();
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+}
+
+void SliceTableCache::evict_beyond_window() {
+  while (stats_.resident > static_cast<std::size_t>(window_)) {
+    int victim = -1;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (int s = 0; s < num_slices_; ++s) {
+      if (slots_[static_cast<std::size_t>(s)] == nullptr) continue;
+      if (last_use_[static_cast<std::size_t>(s)] < oldest) {
+        oldest = last_use_[static_cast<std::size_t>(s)];
+        victim = s;
+      }
+    }
+    assert(victim >= 0);
+    stats_.resident_bytes -= slots_[static_cast<std::size_t>(victim)]->memory_bytes();
+    slots_[static_cast<std::size_t>(victim)].reset();
+    --stats_.resident;
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace opera::topo

@@ -1,0 +1,108 @@
+// topo::SliceTableCache — windowed, LRU-evicted cache of per-slice ECMP
+// tables (the k=24 unlock: 432 eager tables cost ~840 MB, a 32-slice
+// window ~60 MB).
+//
+// The rotation schedule makes slice access almost perfectly predictable:
+// forwarding only ever reads the current slice's table (or the next one,
+// inside the end-of-slice drain window), so a small window of tables
+// around the current slice — prefetched in parallel off the schedule at
+// each slice boundary — behaves exactly like the full precomputed set.
+// Table *content* is a pure function of (topology, slice, failure set);
+// caching changes when tables are built, never what they contain, so a
+// windowed fabric is bit-identical to an eager one (see
+// tests/test_routing_parity.cc).
+//
+// Out-of-window reads still work: get() builds on demand and counts a
+// miss. Failure recovery calls invalidate_all() — only cached entries are
+// dropped; rebuilt tables pick up the new failure set through the builder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace opera::topo {
+
+class SliceTableCache {
+ public:
+  // Builds the table for one slice. Must be a pure function of the slice
+  // index and whatever state it captures (topology + failure set); it may
+  // be invoked from prefetch()'s worker threads, concurrently for
+  // different slices.
+  using Builder = std::function<EcmpTable(int slice)>;
+
+  struct Config {
+    // Number of resident tables. 0 = auto: keep every slice (eager, the
+    // pre-cache behavior) while the predicted footprint fits
+    // memory_budget_bytes, otherwise the largest window that does.
+    // Values >= the slice count also mean eager.
+    int window = 0;
+    std::size_t memory_budget_bytes = kDefaultBudgetBytes;
+  };
+  static constexpr std::size_t kDefaultBudgetBytes = 256ull << 20;
+  // Forwarding needs the current and next slice (drain window) plus some
+  // lookahead for the prefetcher to stay ahead of the rotation.
+  static constexpr int kMinWindow = 4;
+
+  struct Stats {
+    std::uint64_t hits = 0;         // get() served from cache
+    std::uint64_t demand_builds = 0;  // get() built on demand (cache miss)
+    std::uint64_t prefetch_builds = 0;  // built ahead of use by prefetch()
+    std::uint64_t evictions = 0;
+    std::size_t resident = 0;            // tables currently cached
+    std::size_t resident_bytes = 0;      // their memory footprint
+    std::size_t peak_resident_bytes = 0;
+  };
+
+  SliceTableCache() = default;
+  SliceTableCache(int num_slices, Config config, Builder builder);
+
+  [[nodiscard]] int num_slices() const { return num_slices_; }
+  // Resolved window size (== num_slices() when eager).
+  [[nodiscard]] int window() const { return window_; }
+  [[nodiscard]] bool eager() const { return window_ == num_slices_; }
+
+  // The table for `slice`, building it on demand when not resident.
+  const EcmpTable& get(int slice);
+
+  // Bookkeeping-free lookup for the per-packet forward path: the resident
+  // table, or null when evicted/never built (fall back to get()). Skips
+  // the hit counter and the LRU touch — window freshness is maintained by
+  // the boundary prefetch, which re-ticks every in-window slice, so
+  // per-lookup touches add nothing but hot-path cost. In eager mode this
+  // never returns null after construction.
+  [[nodiscard]] const EcmpTable* peek(int slice) const {
+    return slots_[static_cast<std::size_t>(slice)].get();
+  }
+
+  // Ensures the window() slices starting at `first` (wrapping) are
+  // resident, building the missing ones in parallel, and marks them
+  // most-recently-used so eviction only ever claims slices behind the
+  // rotation. Call at slice boundaries with the new current slice.
+  void prefetch(int first);
+
+  // Drops every cached table (failure recovery: the builder's inputs
+  // changed, so cached content is stale). Resolved window is kept.
+  void invalidate_all();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void install(int slice, EcmpTable table);  // accounting for one build
+  void touch(int slice) { last_use_[static_cast<std::size_t>(slice)] = ++tick_; }
+  void evict_beyond_window();
+
+  int num_slices_ = 0;
+  int window_ = 0;
+  Builder builder_;
+  std::vector<std::unique_ptr<EcmpTable>> slots_;  // [slice] -> table or null
+  std::vector<std::uint64_t> last_use_;            // [slice] -> LRU tick
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace opera::topo

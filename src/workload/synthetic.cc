@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
+#include <span>
 
 namespace opera::workload {
 
@@ -111,6 +113,97 @@ std::vector<FlowSpec> skew_workload(std::int32_t num_racks, std::int32_t hosts_p
         f.size_bytes = flow_bytes;
         f.start = sim::Time::zero();
         out.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FlowSpec> incast_workload(std::int32_t num_hosts,
+                                      std::int32_t hosts_per_rack,
+                                      const IncastParams& params, sim::Rng& rng) {
+  assert(num_hosts > hosts_per_rack && params.fanin > 0);
+  std::vector<FlowSpec> out;
+  std::vector<std::int32_t> candidates;
+  for (std::int32_t e = 0; e < params.events; ++e) {
+    const sim::Time start = params.spacing * e;
+    const auto aggregator =
+        static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(num_hosts)));
+    const std::int32_t agg_rack = aggregator / hosts_per_rack;
+    // Workers live outside the aggregator's rack (the fan-in crosses the
+    // fabric); a shuffled candidate list keeps the draw bias-free even
+    // when fanin approaches every eligible host.
+    candidates.clear();
+    for (std::int32_t h = 0; h < num_hosts; ++h) {
+      if (h / hosts_per_rack != agg_rack) candidates.push_back(h);
+    }
+    rng.shuffle(std::span<std::int32_t>{candidates});
+    const auto fanin = std::min<std::size_t>(
+        static_cast<std::size_t>(params.fanin), candidates.size());
+    for (std::size_t i = 0; i < fanin; ++i) {
+      out.push_back(FlowSpec{candidates[i], aggregator, params.flow_bytes, start});
+    }
+  }
+  return out;
+}
+
+std::vector<FlowSpec> storage_replication_workload(
+    std::int32_t num_hosts, std::int32_t hosts_per_rack,
+    const StorageReplicationParams& params, sim::Rng& rng) {
+  const std::int32_t num_racks = num_hosts / hosts_per_rack;
+  assert(params.replicas >= 1 && num_racks >= 2);
+  // Rack-disjoint placement can use at most every rack but the client's;
+  // clamp (rather than assert) so a small CLI-chosen fabric shortens the
+  // chain instead of reading past the candidate list in release builds.
+  const int replicas = std::min(params.replicas, num_racks - 1);
+  std::vector<FlowSpec> out;
+  std::vector<std::int32_t> racks;
+  for (std::int32_t w = 0; w < params.writes; ++w) {
+    const sim::Time start = params.spacing * w;
+    const auto client =
+        static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(num_hosts)));
+    // Replica chain on pairwise-distinct racks, none of them the client's
+    // (rack-aware placement: losing one rack loses at most one copy).
+    racks.clear();
+    for (std::int32_t r = 0; r < num_racks; ++r) {
+      if (r != client / hosts_per_rack) racks.push_back(r);
+    }
+    rng.shuffle(std::span<std::int32_t>{racks});
+    std::int32_t prev = client;
+    for (int c = 0; c < replicas; ++c) {
+      const std::int32_t replica =
+          racks[static_cast<std::size_t>(c)] * hosts_per_rack +
+          static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(hosts_per_rack)));
+      out.push_back(FlowSpec{prev, replica, params.object_bytes,
+                             start + params.chain_delay * c});
+      prev = replica;
+    }
+  }
+  return out;
+}
+
+std::vector<FlowSpec> ml_collective_workload(std::int32_t num_hosts,
+                                             std::int32_t hosts_per_rack,
+                                             const MlCollectiveParams& params,
+                                             sim::Rng& rng) {
+  (void)hosts_per_rack;  // rings are rack-oblivious; placement decides locality
+  const std::int32_t g = params.group_size;
+  if (g < 2 || num_hosts < g) return {};
+  std::vector<std::int32_t> placement(static_cast<std::size_t>(num_hosts));
+  std::iota(placement.begin(), placement.end(), 0);
+  if (params.shuffle_placement) rng.shuffle(std::span<std::int32_t>{placement});
+
+  const std::int32_t groups = num_hosts / g;
+  const std::int64_t chunk = std::max<std::int64_t>(1, params.model_bytes / g);
+  std::vector<FlowSpec> out;
+  for (std::int32_t grp = 0; grp < groups; ++grp) {
+    const std::int32_t* ring = placement.data() + static_cast<std::size_t>(grp) * g;
+    // Reduce-scatter (g-1 steps) then all-gather (g-1 steps): one chunk
+    // from every member to its ring successor per step.
+    for (std::int32_t step = 0; step < 2 * (g - 1); ++step) {
+      const sim::Time start = params.step_interval * step;
+      for (std::int32_t i = 0; i < g; ++i) {
+        out.push_back(FlowSpec{ring[i], ring[(i + 1) % g], chunk, start});
       }
     }
   }

@@ -2,6 +2,11 @@
 //   * Poisson arrivals with an empirical flow-size distribution (Figs 7, 9)
 //   * all-to-all shuffle at a fixed flow size (Fig. 8, §5.2)
 //   * host permutation, hot-rack, skew[p,1] (Fig. 12/15, §5.6)
+// plus the datacenter patterns the paper motivates but does not sweep —
+// declarative param structs so an exp::FctSweep can state them inline:
+//   * incast (N:1 partition-aggregate fan-in)
+//   * storage replication (rack-aware primary/replica write chains)
+//   * ML collective (ring all-reduce over host groups)
 #pragma once
 
 #include <cstdint>
@@ -53,5 +58,54 @@ struct FlowSpec {
                                                   double active_fraction,
                                                   std::int64_t flow_bytes,
                                                   sim::Rng& rng);
+
+// Partition-aggregate incast: `events` queries, each picking one
+// aggregator host and `fanin` distinct worker hosts on other racks that
+// all answer with `flow_bytes` at the same instant. Events are spaced
+// `spacing` apart; flows within an event are listed in draw order.
+struct IncastParams {
+  std::int32_t events = 8;
+  std::int32_t fanin = 32;           // capped at the hosts outside the
+                                     // aggregator's rack
+  std::int64_t flow_bytes = 64'000;  // per-worker response
+  sim::Time spacing = sim::Time::us(500);
+};
+[[nodiscard]] std::vector<FlowSpec> incast_workload(std::int32_t num_hosts,
+                                                    std::int32_t hosts_per_rack,
+                                                    const IncastParams& params,
+                                                    sim::Rng& rng);
+
+// Rack-aware replicated writes (HDFS/Ceph-style): each of `writes` ops
+// picks a client and a primary on a different rack, then pipelines the
+// object down a chain of `replicas` copies on pairwise-distinct racks —
+// client -> primary at t, primary -> r2 at t + chain_delay, r2 -> r3 at
+// t + 2*chain_delay, ... Writes start `spacing` apart.
+struct StorageReplicationParams {
+  std::int32_t writes = 32;
+  int replicas = 3;                       // primary + 2 copies
+  std::int64_t object_bytes = 4'000'000;  // one chunk
+  sim::Time spacing = sim::Time::us(200);
+  sim::Time chain_delay = sim::Time::us(40);  // pipeline head-start per hop
+};
+[[nodiscard]] std::vector<FlowSpec> storage_replication_workload(
+    std::int32_t num_hosts, std::int32_t hosts_per_rack,
+    const StorageReplicationParams& params, sim::Rng& rng);
+
+// Ring all-reduce (the bandwidth-optimal collective behind data-parallel
+// training): hosts are partitioned into rings of `group_size` (randomly
+// placed across racks when `shuffle_placement`, contiguous otherwise;
+// hosts beyond the last full group stay idle). Each ring runs the
+// standard 2*(group_size-1) steps — reduce-scatter then all-gather — with
+// every member sending one model_bytes/group_size chunk to its successor
+// per step, steps `step_interval` apart.
+struct MlCollectiveParams {
+  std::int32_t group_size = 8;
+  std::int64_t model_bytes = 8'000'000;  // per-member gradient buffer
+  sim::Time step_interval = sim::Time::us(150);
+  bool shuffle_placement = true;
+};
+[[nodiscard]] std::vector<FlowSpec> ml_collective_workload(
+    std::int32_t num_hosts, std::int32_t hosts_per_rack,
+    const MlCollectiveParams& params, sim::Rng& rng);
 
 }  // namespace opera::workload

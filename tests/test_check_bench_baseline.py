@@ -1,0 +1,147 @@
+"""Unit tests for the bench-baseline drift logic (compare_to_baseline) and
+the result-format parsers it relies on.
+
+Run directly (python3 tests/test_check_bench_baseline.py) or through
+ctest, which registers it as `check_bench_baseline_py` when a Python
+interpreter is found at configure time.
+"""
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+from check_bench_baseline import compare_to_baseline  # noqa: E402
+from record_bench_baseline import parse_csv_tables, parse_timings  # noqa: E402
+
+
+def base_entry(wall_s=1.0, table_rows=None):
+    return {"wall_s": wall_s, "table_rows": table_rows or {}}
+
+
+class CompareToBaselineTest(unittest.TestCase):
+    def test_clean_run_passes(self):
+        baseline = {"bench_a": base_entry(1.0, {"fct": 5})}
+        timings = {"bench_a": {"wall_s": 1.1, "status": "ok"}}
+        csv_tables = {"bench_a": {"fct": 5}}
+        failures, warnings, report = compare_to_baseline(
+            baseline, timings, csv_tables, wall_ratio=1.25, wall_slack_s=0.5)
+        self.assertEqual(failures, [])
+        self.assertEqual(warnings, [])
+        self.assertEqual(len(report), 1)
+        self.assertIn("OK", report[0])
+
+    def test_wall_regression_names_bench_with_old_and_new_times(self):
+        baseline = {"bench_slow": base_entry(2.0), "bench_fine": base_entry(1.0)}
+        timings = {"bench_slow": {"wall_s": 9.75, "status": "ok"},
+                   "bench_fine": {"wall_s": 1.0, "status": "ok"}}
+        failures, _, report = compare_to_baseline(
+            baseline, timings, {}, wall_ratio=1.25, wall_slack_s=0.5)
+        self.assertEqual(len(failures), 1)
+        msg = failures[0]
+        # The failure names the regressing bench and carries both times.
+        self.assertIn("bench_slow", msg)
+        self.assertIn("9.75s", msg)
+        self.assertIn("2.00s", msg)
+        self.assertIn("4.88x", msg)
+        self.assertNotIn("bench_fine", msg)
+        self.assertTrue(any("bench_slow" in r and "FAIL" in r for r in report))
+        self.assertTrue(any("bench_fine" in r and "OK" in r for r in report))
+
+    def test_wall_budget_is_ratio_plus_slack(self):
+        baseline = {"bench_a": base_entry(1.0)}
+        inside = {"bench_a": {"wall_s": 1.74, "status": "ok"}}
+        outside = {"bench_a": {"wall_s": 1.76, "status": "ok"}}
+        self.assertEqual(
+            compare_to_baseline(baseline, inside, {}, 1.25, 0.5)[0], [])
+        self.assertEqual(
+            len(compare_to_baseline(baseline, outside, {}, 1.25, 0.5)[0]), 1)
+
+    def test_table_row_drift_reports_each_drifted_table(self):
+        baseline = {"bench_a": base_entry(0.1, {"fct": 5, "run": 1})}
+        timings = {"bench_a": {"wall_s": 0.1, "status": "ok"}}
+        csv_tables = {"bench_a": {"fct": 7, "run": 1, "extra": 2}}
+        failures, _, _ = compare_to_baseline(baseline, timings, csv_tables)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("bench_a", failures[0])
+        self.assertIn("fct: 5 -> 7", failures[0])
+        self.assertIn("extra: absent -> 2", failures[0])
+        self.assertNotIn("run", failures[0])
+
+    def test_missing_bench_and_missing_csv_fail(self):
+        baseline = {"bench_gone": base_entry(0.2),
+                    "bench_no_csv": base_entry(0.2, {"fct": 5})}
+        timings = {"bench_no_csv": {"wall_s": 0.2, "status": "ok"}}
+        failures, _, _ = compare_to_baseline(baseline, timings, {})
+        self.assertEqual(len(failures), 2)
+        self.assertTrue(any("bench_gone" in f and "missing" in f for f in failures))
+        self.assertTrue(any("bench_no_csv" in f and "no CSV" in f for f in failures))
+
+    def test_untracked_bench_warns_not_fails(self):
+        baseline = {"bench_a": base_entry(0.1)}
+        timings = {"bench_a": {"wall_s": 0.1, "status": "ok"},
+                   "bench_new": {"wall_s": 0.3, "status": "ok"}}
+        failures, warnings, _ = compare_to_baseline(baseline, timings, {})
+        self.assertEqual(failures, [])
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("bench_new", warnings[0])
+
+    def test_full_baseline_cross_checks_quick_table_shape(self):
+        baseline = {"bench_scale": base_entry(2.0, {"run": 3, "fct": 15})}
+        timings = {"bench_scale": {"wall_s": 2.1, "status": "ok"}}
+        full = {"bench_scale": {"wall_s": 175.0, "table_rows": {"run": 3, "fct": 15}}}
+        ok = compare_to_baseline(baseline, timings,
+                                 {"bench_scale": {"run": 3, "fct": 15}},
+                                 full_baseline=full)
+        self.assertEqual(ok[0], [])
+        bad = compare_to_baseline(baseline, timings,
+                                  {"bench_scale": {"run": 3, "fct": 10}},
+                                  full_baseline=full)
+        # Both the quick fingerprint and the full cross-check fire.
+        self.assertEqual(len(bad[0]), 2)
+        self.assertTrue(any("paper-scale" in f for f in bad[0]))
+
+    def test_full_baseline_is_not_wall_gated(self):
+        # Full entries carry a paper-scale wall time; the quick run must
+        # never be compared against it (or regressions hide under a huge
+        # budget and fast runs look like nothing happened).
+        full = {"bench_scale": {"wall_s": 175.0, "table_rows": {}}}
+        failures, _, report = compare_to_baseline(
+            {}, {"bench_scale": {"wall_s": 400.0, "status": "ok"}}, {},
+            full_baseline=full)
+        self.assertEqual(failures, [])
+        self.assertEqual(report, [])
+
+    def test_text_only_bench_is_wall_gated_only(self):
+        # bench_micro_core records no table fingerprint: absent CSV is fine.
+        baseline = {"bench_micro_core": base_entry(3.0, {})}
+        timings = {"bench_micro_core": {"wall_s": 3.1, "status": "ok"}}
+        failures, _, _ = compare_to_baseline(baseline, timings, {})
+        self.assertEqual(failures, [])
+
+
+class ParserTest(unittest.TestCase):
+    def test_parse_csv_tables_counts_data_rows_per_table(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = pathlib.Path(d) / "bench_x.csv"
+            p.write_text("# bench: x\n"
+                         "table,fct\n"
+                         "fct,opera,10,...\n"
+                         "fct,clos,10,...\n"
+                         "run,poisson,5\n"
+                         "\n")
+            self.assertEqual(parse_csv_tables(p), {"fct": 2, "run": 1})
+
+    def test_parse_timings_reads_run_all_benches_format(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = pathlib.Path(d) / "timings.txt"
+            p.write_text(
+                "bench_a                                      0.42 s  ok\n"
+                "bench_b                                     12.00 s  FAILED (exit 1)\n")
+            t = parse_timings(p)
+            self.assertEqual(t["bench_a"], {"wall_s": 0.42, "status": "ok"})
+            self.assertEqual(t["bench_b"]["status"], "FAILED (exit 1)")
+
+
+if __name__ == "__main__":
+    unittest.main()

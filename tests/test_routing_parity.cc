@@ -1,10 +1,20 @@
-// CSR routing-table parity: the flat EcmpTable built by
-// all_pairs_ecmp_next_hops must be bit-identical — same next hops, same
-// order — to the seed's nested-vector implementation (kept as
-// all_pairs_ecmp_next_hops_reference) on every topology family the
-// packet-level fabrics route over, including under failures.
+// Routing parity, two layers:
+//  * CSR tables: the flat EcmpTable built by all_pairs_ecmp_next_hops must
+//    be bit-identical — same next hops, same order — to the seed's
+//    nested-vector implementation (kept as
+//    all_pairs_ecmp_next_hops_reference) on every topology family the
+//    packet-level fabrics route over, including under failures.
+//  * Slice-table windowing: an OperaNetwork running on a small windowed
+//    slice-table cache must produce bit-identical flow completions to the
+//    eager all-slices precompute — table content is a pure function of
+//    (topology, slice, failures), so *when* tables are built must never
+//    leak into results, including across failure recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "core/opera_network.h"
 #include "topo/expander.h"
 #include "topo/folded_clos.h"
 #include "topo/graph.h"
@@ -111,6 +121,123 @@ TEST(RoutingParity, FoldedClos) {
     const FoldedClos clos(p);
     expect_parity(clos.switch_graph(), "clos k=" + std::to_string(radix));
   }
+}
+
+// --- Windowed-cache vs eager-precompute network parity -------------------
+
+struct Completion {
+  std::uint64_t id;
+  std::int64_t start_ps;
+  std::int64_t end_ps;
+  friend bool operator==(const Completion&, const Completion&) = default;
+};
+
+struct NetOutcome {
+  std::vector<Completion> completions;
+  core::OperaNetwork::TorStats tor;
+};
+
+// Builds an Opera fabric with the given slice-table window, drives a
+// deterministic mixed bulk/low-latency workload (plus optional mid-run
+// failures), and returns every flow completion.
+NetOutcome run_opera(const core::OperaConfig& base, int window,
+                     bool inject_failures) {
+  core::OperaConfig cfg = base;
+  cfg.slice_table_window = window;
+  core::OperaNetwork net(cfg);
+
+  sim::Rng wl(99);
+  const auto hosts = static_cast<std::size_t>(net.num_hosts());
+  for (int i = 0; i < 160; ++i) {
+    const auto src = static_cast<std::int32_t>(wl.index(hosts));
+    auto dst = static_cast<std::int32_t>(wl.index(hosts));
+    while (dst == src) dst = static_cast<std::int32_t>(wl.index(hosts));
+    // Mix of NDP mice and RotorLB elephants (cfg.bulk_threshold_bytes is
+    // lowered below so both transports run).
+    const std::int64_t bytes = (i % 4 == 0) ? 600'000 : 20'000;
+    net.submit_flow(src, dst, bytes, sim::Time::us(5 * i));
+  }
+  if (inject_failures) {
+    net.run_until(sim::Time::us(300));
+    net.inject_uplink_failure(1, 0);
+    // The second failure lands *after* the first recovery completed (one
+    // cycle after injection: <= 2.7 ms at these scales). This is the
+    // regression window for the failure snapshot: between this injection
+    // and its own recompute, windowed rebuilds must keep using the
+    // first-recovery snapshot — not the live failure set — or they
+    // diverge from eager precompute.
+    net.run_until(sim::Time::ms(3));
+    net.inject_switch_failure(2);
+  }
+  net.run_until(sim::Time::ms(40));
+
+  NetOutcome out;
+  out.tor = net.tor_stats();
+  for (const auto& rec : net.tracker().completions()) {
+    out.completions.push_back(Completion{rec.flow.id, rec.flow.start.picoseconds(),
+                                         rec.end.picoseconds()});
+  }
+  std::sort(out.completions.begin(), out.completions.end(),
+            [](const Completion& a, const Completion& b) { return a.id < b.id; });
+  return out;
+}
+
+void expect_window_parity(const core::OperaConfig& cfg, bool inject_failures,
+                          const std::string& label) {
+  // window = num_slices forces eager; 4 is the smallest legal window and
+  // maximizes eviction/rebuild churn.
+  const NetOutcome eager = run_opera(cfg, cfg.topology.num_racks, inject_failures);
+  const NetOutcome windowed = run_opera(cfg, 4, inject_failures);
+  ASSERT_FALSE(eager.completions.empty()) << label;
+  ASSERT_EQ(eager.completions.size(), windowed.completions.size()) << label;
+  for (std::size_t i = 0; i < eager.completions.size(); ++i) {
+    EXPECT_EQ(eager.completions[i], windowed.completions[i])
+        << label << ": completion " << i;
+  }
+  EXPECT_EQ(eager.tor.trims, windowed.tor.trims) << label;
+  EXPECT_EQ(eager.tor.drops, windowed.tor.drops) << label;
+  EXPECT_EQ(eager.tor.forward_drops, windowed.tor.forward_drops) << label;
+}
+
+core::OperaConfig small_opera(Vertex racks, int u, int hosts_per_rack) {
+  core::OperaConfig cfg;
+  cfg.topology.num_racks = racks;
+  cfg.topology.num_switches = u;
+  cfg.topology.hosts_per_rack = hosts_per_rack;
+  cfg.topology.seed = 3;
+  // Low threshold so the 600 KB elephants ride the RotorLB bulk path.
+  cfg.bulk_threshold_bytes = 100'000;
+  return cfg;
+}
+
+TEST(SliceWindowParity, K8FabricFctBitIdentical) {
+  expect_window_parity(small_opera(16, 4, 4), false, "opera k=8 16x4");
+}
+
+TEST(SliceWindowParity, K16FabricFctBitIdentical) {
+  expect_window_parity(small_opera(24, 8, 8), false, "opera k=16 24x8");
+}
+
+TEST(SliceWindowParity, K8UnderFailureRecovery) {
+  expect_window_parity(small_opera(16, 4, 4), true, "opera k=8 +failures");
+}
+
+TEST(SliceWindowParity, K16UnderFailureRecovery) {
+  expect_window_parity(small_opera(24, 8, 8), true, "opera k=16 +failures");
+}
+
+TEST(SliceWindowParity, WindowedCacheActuallyEvicts) {
+  // Guard against the parity tests silently degenerating to eager-vs-eager.
+  core::OperaConfig cfg = small_opera(16, 4, 4);
+  cfg.slice_table_window = 4;
+  core::OperaNetwork net(cfg);
+  net.run_until(sim::Time::ms(3));  // ~30 slices > window
+  const auto& cache = net.slice_tables();
+  EXPECT_FALSE(cache.eager());
+  EXPECT_EQ(cache.window(), 4);
+  EXPECT_LE(cache.stats().resident, 4u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.stats().prefetch_builds, 0u);
 }
 
 TEST(RoutingParity, DisconnectedAndTrivialGraphs) {

@@ -1,0 +1,137 @@
+// Property-based Opera topology invariants over randomized scales and
+// seeds (the design-time guarantees the paper's §3.3 construction rests
+// on): every matching a slice schedules is a perfect matching (or the
+// diagonal), the union of matchings over one cycle is exactly the
+// one-factorization of K_N plus the diagonal, and the per-slice ECMP
+// tables never return an empty next-hop set for a reachable pair.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/one_factorization.h"
+#include "topo/opera_topology.h"
+
+namespace opera::topo {
+namespace {
+
+struct Scale {
+  Vertex racks;
+  int switches;
+};
+
+// Randomized-but-reproducible sweep: a few (N, u) shapes x several seeds.
+// u >= 4 keeps every slice (a union of u-1 matchings) an expander the
+// generate-and-test constructor can accept; N must divide by u.
+const std::vector<Scale>& scales() {
+  static const std::vector<Scale> s = {{12, 4}, {16, 4}, {20, 5}, {24, 6}};
+  return s;
+}
+const std::vector<std::uint64_t>& seeds() {
+  static const std::vector<std::uint64_t> s = {1, 2, 17, 1234};
+  return s;
+}
+
+OperaTopology make(const Scale& sc, std::uint64_t seed) {
+  OperaParams p;
+  p.num_racks = sc.racks;
+  p.num_switches = sc.switches;
+  p.hosts_per_rack = 4;
+  p.seed = seed;
+  return OperaTopology(p);
+}
+
+TEST(TopologyProperties, EverySliceMatchingIsPerfectOrDiagonal) {
+  for (const auto& sc : scales()) {
+    for (const auto seed : seeds()) {
+      const auto topo = make(sc, seed);
+      for (int slice = 0; slice < topo.num_slices(); ++slice) {
+        for (int sw = 0; sw < topo.num_switches(); ++sw) {
+          const auto& m = topo.matchings()[topo.matching_index(sw, slice)];
+          ASSERT_TRUE(is_valid_matching(m))
+              << "N=" << sc.racks << " u=" << sc.switches << " seed=" << seed
+              << " slice=" << slice << " sw=" << sw;
+          // Even N: each matching is perfect (no self-matches) or the full
+          // diagonal (the paper's identity slot — all self-matches).
+          int self = 0;
+          for (Vertex v = 0; v < sc.racks; ++v) {
+            if (m[static_cast<std::size_t>(v)] == v) ++self;
+          }
+          EXPECT_TRUE(self == 0 || self == sc.racks)
+              << "matching neither perfect nor diagonal: " << self << " of "
+              << sc.racks << " self-matched (N=" << sc.racks << " seed=" << seed
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyProperties, CycleUnionIsCompleteOneFactorization) {
+  for (const auto& sc : scales()) {
+    for (const auto seed : seeds()) {
+      const auto topo = make(sc, seed);
+      ASSERT_EQ(topo.num_slices(), sc.racks);
+      ASSERT_TRUE(is_complete_factorization(topo.matchings()))
+          << "N=" << sc.racks << " u=" << sc.switches << " seed=" << seed;
+
+      // Cross-check against the schedule itself: every ordered rack pair
+      // gets a direct circuit in at least one slice of the cycle.
+      std::set<std::pair<Vertex, Vertex>> covered;
+      for (int slice = 0; slice < topo.num_slices(); ++slice) {
+        const int down = topo.reconfiguring_switch(slice);
+        for (int sw = 0; sw < topo.num_switches(); ++sw) {
+          if (sw == down) continue;
+          for (Vertex r = 0; r < sc.racks; ++r) {
+            const Vertex peer = topo.circuit_peer(sw, r, slice);
+            if (peer != r) covered.insert({r, peer});
+          }
+        }
+      }
+      EXPECT_EQ(covered.size(),
+                static_cast<std::size_t>(sc.racks) *
+                    static_cast<std::size_t>(sc.racks - 1))
+          << "N=" << sc.racks << " u=" << sc.switches << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TopologyProperties, NextHopsNeverEmptyForReachablePairs) {
+  for (const auto& sc : scales()) {
+    for (const auto seed : seeds()) {
+      const auto topo = make(sc, seed);
+      for (int slice = 0; slice < topo.num_slices(); ++slice) {
+        const Graph g = topo.slice_graph(slice);
+        const EcmpTable routes = topo.slice_routes(slice);
+        for (Vertex dst = 0; dst < g.num_vertices(); ++dst) {
+          // dist[v] = hops v -> dst (undirected, so BFS from dst serves
+          // every source at once).
+          const auto dist = bfs_distances(g, dst);
+          for (Vertex src = 0; src < g.num_vertices(); ++src) {
+            if (src == dst) continue;
+            const auto hops = routes.next_hops(src, dst);
+            if (dist[static_cast<std::size_t>(src)] < 0) {
+              EXPECT_TRUE(hops.empty());
+              continue;
+            }
+            ASSERT_FALSE(hops.empty())
+                << "reachable pair (" << src << " -> " << dst << ") slice "
+                << slice << " N=" << sc.racks << " seed=" << seed;
+            // And every listed hop makes strict progress toward dst.
+            for (const Vertex h : hops) {
+              EXPECT_EQ(dist[static_cast<std::size_t>(h)],
+                        dist[static_cast<std::size_t>(src)] - 1)
+                  << "non-shortest hop " << h << " for (" << src << " -> "
+                  << dst << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opera::topo
