@@ -63,6 +63,8 @@ int usage() {
       "  --seed=S                                (default 1)\n"
       "  --slice-window=W  Opera resident slice tables (default 0 = auto:\n"
       "                    eager if all fit 256 MB, else windowed+LRU)\n"
+      "  --threads=N       shard the event loop over N rack domains\n"
+      "                    (Opera; bit-identical output for any N)\n"
       "  --construct-only  build the network, skip the traffic run\n"
       "  --csv | --json    output format\n");
   return 2;
@@ -98,12 +100,16 @@ int main(int argc, char** argv) {
   config.seed = seed;
   config.slice_table_window =
       static_cast<int>(arg_long(argc, argv, "--slice-window", 0));
+  config.threads = ex.cli().threads;  // parsed by exp::CliOptions with the other shared flags
 
   const auto build_start = std::chrono::steady_clock::now();
   auto net = core::NetworkFactory::build(config);
   const double build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start)
           .count();
+  // Record the *resolved* shard count (covers the OPERA_TEST_THREADS env
+  // default, not just --threads) so CSV artifacts label sharded walls.
+  if (net->num_shards() > 1) ex.report().note("threads=%d", net->num_shards());
 
   auto& build_table = ex.report().table(
       "build", {"fabric", "racks", "hosts", "construct_s"});
@@ -159,7 +165,7 @@ int main(int argc, char** argv) {
   run_table.row({workload_name, static_cast<std::int64_t>(flows.size()),
                  static_cast<std::int64_t>(net->tracker().completed()),
                  exp::Value(status.ended_at.to_ms(), 3), exp::Value(run_seconds, 3),
-                 static_cast<std::int64_t>(net->sim().events_executed())});
+                 static_cast<std::int64_t>(net->events_executed())});
   ex.emit_fct_rows(fabric_name, load * 100.0, *net);
 
   if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {

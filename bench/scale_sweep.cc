@@ -8,9 +8,15 @@
 //            slice-table cache: 432 eager tables cost ~840 MB, the
 //            auto-sized window stays under the 256 MB table budget.
 //
-// Both modes emit the same table shapes (the baseline row fingerprint is
+// Both modes also run a construction + short-sweep "scale probe" one rung
+// above the sweep scale: quick probes k=12 (24 racks x 6 hosts), --full
+// probes k=32 (768 racks x 16 hosts = 12288 hosts) — the rung the sparse
+// VOQs (transport/sparse_voq.h) and the sharded event loop unlock. The
+// probe row records the sparse-VOQ structural memory next to peak RSS.
+//
+// All modes emit the same table shapes (the baseline row fingerprint is
 // scale-independent): per-pattern run and slice-cache rows, the standard
-// FCT buckets, and a process-wide peak-RSS row.
+// FCT buckets, the scale-probe row, and a process-wide peak-RSS row.
 #include <chrono>
 #include <string>
 #include <vector>
@@ -18,6 +24,7 @@
 #include "core/opera_network.h"
 #include "exp/experiment.h"
 #include "exp/testbed.h"
+#include "workload/flow_size_dist.h"
 #include "workload/synthetic.h"
 
 namespace {
@@ -101,6 +108,56 @@ int main(int argc, char** argv) {
                      static_cast<std::int64_t>(st.demand_builds),
                      static_cast<std::int64_t>(st.prefetch_builds),
                      static_cast<std::int64_t>(st.evictions)});
+  }
+
+  // Scale probe: one rung above the sweep scale — construction plus a
+  // short poisson sweep, with the sparse-VOQ memory probe. k=32 is the
+  // ROADMAP rung the dense relay VOQs made infeasible (768² rings); quick
+  // mode probes k=12 (the smallest rung above the 16x4 sweep testbed with
+  // a fully-connected slice realization).
+  {
+    const std::int32_t probe_racks = full ? 768 : 24;
+    const std::int32_t probe_hpr = full ? 16 : 6;
+    core::FabricConfig probe =
+        core::FabricConfig::make(core::FabricKind::kOpera).scale(probe_racks, probe_hpr);
+    probe.threads = ex.cli().threads;  // the probe honors --threads too
+
+    const auto build_start = std::chrono::steady_clock::now();
+    auto net = core::NetworkFactory::build(probe);
+    const double construct_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start)
+            .count();
+
+    sim::Rng rng(21);
+    // Datamining's heavy tail means ~7 MB mean flow size: these loads and
+    // windows put a few dozen flows (mice through multi-MB elephants) on
+    // the fabric in both modes.
+    const auto flows = workload::poisson_workload(
+        workload::FlowSizeDistribution::datamining(), net->num_hosts(),
+        /*load=*/full ? 0.05 : 0.3, probe.link.rate_bps,
+        full ? sim::Time::us(150) : sim::Time::ms(2), rng);
+    const auto run_start = std::chrono::steady_clock::now();
+    for (const auto& f : flows) {
+      net->submit_remapped(f.src_host, f.dst_host, f.size_bytes, f.start);
+    }
+    const auto status = net->run_to_completion(sim::Time::ms(full ? 20 : 50));
+    const double sweep_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+            .count();
+
+    const auto& opera_net = dynamic_cast<const core::OperaNetwork&>(*net);
+    auto& probe_table = ex.report().table(
+        "scale_probe", {"k", "racks", "hosts", "construct_s", "flows", "completed",
+                        "sweep_wall_s", "voq_mb", "table_peak_mb"});
+    probe_table.row({2 * probe_hpr, net->num_racks(), net->num_hosts(),
+                     exp::Value(construct_s, 2),
+                     static_cast<std::int64_t>(flows.size()),
+                     static_cast<std::int64_t>(net->tracker().completed()),
+                     exp::Value(sweep_s, 2),
+                     exp::Value(opera_net.voq_memory_bytes() / 1e6, 2),
+                     exp::Value(opera_net.slice_tables().stats().peak_resident_bytes / 1e6,
+                                1)});
+    ex.report().note("scale probe sim time %.3f ms", status.ended_at.to_ms());
   }
 
   auto& memory_table = ex.report().table("memory", {"peak_rss_mb"});

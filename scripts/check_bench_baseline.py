@@ -29,7 +29,8 @@ import sys
 # The result-format parsers live with the recorder so the two scripts can
 # never disagree on the CSV/timings schema.
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
-from record_bench_baseline import parse_csv_tables, parse_timings  # noqa: E402
+from record_bench_baseline import (  # noqa: E402
+    parse_csv_tables, parse_csv_threads, parse_timings)
 
 # Wall-clock budget: new <= baseline * RATIO + SLACK. The defaults assume
 # the run and the baseline came from the same machine; CI overrides via
@@ -41,10 +42,11 @@ WALL_SLACK_S = float(os.environ.get("BENCH_WALL_SLACK_S", "0.5"))
 
 def compare_to_baseline(baseline, timings, csv_tables,
                         wall_ratio=WALL_RATIO, wall_slack_s=WALL_SLACK_S,
-                        full_baseline=None):
+                        full_baseline=None, csv_threads=None):
     """The drift logic, as a pure function over parsed inputs.
 
-    baseline:   {bench: {"wall_s": float|None, "table_rows": {table: rows}}}
+    baseline:   {bench: {"wall_s": float|None, "table_rows": {table: rows},
+                 "threads": int (optional)}}
     timings:    {bench: {"wall_s": float, "status": str}} from timings.txt
     csv_tables: {bench: {table: rows}} for every bench that produced a CSV
     full_baseline: like `baseline` but recorded from --full paper-scale
@@ -52,6 +54,12 @@ def compare_to_baseline(baseline, timings, csv_tables,
         so these are not wall-gated; benches recorded there are expected
         to have scale-independent table shapes, and the quick run's row
         counts are cross-checked against the full fingerprint.
+    csv_threads: {bench: int} shard counts parsed from the CSVs'
+        `# threads=N` metadata notes. Carried through as a report column
+        and a *warning* on mismatch — wall-clock baselines are only
+        comparable at equal shard counts, but old baselines and old CSVs
+        (recorded before the knob existed) have no threads key and must
+        not trip row-drift or fail.
 
     Returns (failures, warnings, report_lines). A failing bench is always
     named in its message, and wall-clock failures carry both the old and
@@ -60,6 +68,7 @@ def compare_to_baseline(baseline, timings, csv_tables,
     failures = []
     warnings = []
     report = []
+    csv_threads = csv_threads or {}
     for name, base in sorted(baseline.items()):
         # Every baseline bench must have run this time: a stale CSV left in
         # the results dir must not cover for a deleted or renamed bench.
@@ -81,18 +90,34 @@ def compare_to_baseline(baseline, timings, csv_tables,
                     if base["table_rows"].get(t) != rows.get(t))
                 failures.append(f"{name}: table-row drift — {detail}")
 
+        base_threads = base.get("threads", 1)
+        new_threads = csv_threads.get(name, 1)
+        if base_threads != new_threads:
+            warnings.append(
+                f"{name}: shard count changed (baseline threads={base_threads}, "
+                f"run threads={new_threads}) — wall-clock budgets compare "
+                "equal-thread runs; regenerate the baseline to re-anchor")
+
         base_wall = base.get("wall_s")
         new_wall = timings.get(name, {}).get("wall_s")
         if base_wall is not None and new_wall is not None:
             budget = base_wall * wall_ratio + wall_slack_s
             verdict = "OK"
-            if new_wall > budget:
+            if base_threads != new_threads:
+                # Wall budgets only compare equal-thread runs: a shard-count
+                # change legitimately moves wall-clock with zero code change,
+                # so the gate skips (the mismatch warning above asks for a
+                # baseline re-record) instead of blaming a regression.
+                verdict = "SKIP (threads changed)"
+            elif new_wall > budget:
                 ratio = new_wall / base_wall if base_wall > 0 else float("inf")
                 failures.append(
                     f"{name}: wall-clock regression — {new_wall:.2f}s vs baseline "
                     f"{base_wall:.2f}s ({ratio:.2f}x, budget {budget:.2f}s)")
                 verdict = "FAIL"
-            report.append(f"  {name:<42} {base_wall:7.2f}s -> {new_wall:7.2f}s  {verdict}")
+            threads_col = f" t={new_threads}" if new_threads != 1 else ""
+            report.append(
+                f"  {name:<42} {base_wall:7.2f}s -> {new_wall:7.2f}s  {verdict}{threads_col}")
 
     for name, base in sorted((full_baseline or {}).items()):
         if not base.get("table_rows") or name not in csv_tables:
@@ -131,13 +156,18 @@ def main() -> int:
     full_baseline = baseline_doc.get("full_benches", {})
     timings = parse_timings(timings_file)
     csv_tables = {}
+    csv_threads = {}
     for name in set(baseline) | set(full_baseline):
         csv = results / f"{name}.csv"
         if csv.exists():
             csv_tables[name] = parse_csv_tables(csv)
+            threads = parse_csv_threads(csv)
+            if threads is not None:
+                csv_threads[name] = threads
 
     failures, warnings, report = compare_to_baseline(
-        baseline, timings, csv_tables, full_baseline=full_baseline)
+        baseline, timings, csv_tables, full_baseline=full_baseline,
+        csv_threads=csv_threads)
     for line in report:
         print(line)
     for w in warnings:

@@ -34,7 +34,11 @@ import sys
 
 
 def parse_csv_tables(path: pathlib.Path):
-    """Data-row count per table id in one bench CSV (--csv schema)."""
+    """Data-row count per table id in one bench CSV (--csv schema).
+
+    Comment lines ('#', including the `# threads=N` metadata note) never
+    count as rows, so a bench growing run metadata cannot trip row drift.
+    """
     tables = {}
     for line in path.read_text().splitlines():
         if not line or line.startswith("#"):
@@ -44,6 +48,17 @@ def parse_csv_tables(path: pathlib.Path):
             continue
         tables[first] = tables.get(first, 0) + 1
     return tables
+
+
+def parse_csv_threads(path: pathlib.Path):
+    """Shard count from a CSV's `# threads=N` metadata notes; None if absent
+    (single-queue runs and CSVs from before the knob existed). A sweep
+    whose runs resolved to different shard counts emits one note per
+    change; the artifact is summarized by the maximum."""
+    found = [int(m.group(1))
+             for line in path.read_text().splitlines()
+             if (m := re.match(r"#\s*threads=(\d+)", line))]
+    return max(found) if found else None
 
 
 def parse_timings(path: pathlib.Path):
@@ -76,6 +91,10 @@ def collect_benches(results: pathlib.Path):
             "wall_s": t.get("wall_s"),
             "table_rows": parse_csv_tables(csv) if csv.exists() else {},
         }
+        if csv.exists():
+            threads = parse_csv_threads(csv)
+            if threads is not None:
+                benches[name]["threads"] = threads
     return benches
 
 

@@ -63,6 +63,7 @@ class ClosNetwork : public Network {
   void run_until(sim::Time t) override { sim_.run_until(t); }
 
   [[nodiscard]] sim::Simulator& sim() override { return sim_; }
+  [[nodiscard]] const sim::Simulator& sim() const override { return sim_; }
   [[nodiscard]] transport::FlowTracker& tracker() override { return tracker_; }
   [[nodiscard]] const transport::FlowTracker& tracker() const override {
     return tracker_;

@@ -146,6 +146,7 @@ OperaConfig FabricConfig::opera_config() const {
   cfg.seed = seed;
   cfg.slice_table_window = slice_table_window;
   cfg.slice_table_budget_bytes = slice_table_budget_bytes;
+  cfg.threads = threads;
   return cfg;
 }
 

@@ -61,6 +61,11 @@ struct FabricConfig {
   // budget; see OperaConfig::slice_table_window). CLI: --slice-window.
   int slice_table_window = 0;
   std::size_t slice_table_budget_bytes = topo::SliceTableCache::kDefaultBudgetBytes;
+  // Opera: shard count for the sharded event loop (bit-identical output
+  // for any value; see OperaConfig::threads). 0 = auto
+  // ($OPERA_TEST_THREADS, else 1). The static fabrics currently run
+  // single-domain and ignore it. CLI: --threads.
+  int threads = 0;
 
   // Paper-scale defaults for `kind` (the structure defaults above).
   [[nodiscard]] static FabricConfig make(FabricKind kind);

@@ -83,7 +83,17 @@ class Network {
                               sim::Time check_interval = sim::Time::us(500));
 
   // --- Introspection -----------------------------------------------------
+  // Total executed events across every event loop the fabric runs — the
+  // coordinator plus all shards for sharded fabrics, the single loop
+  // otherwise. Prefer this over sim().events_executed(), which for a
+  // sharded fabric counts only the coordinator's (global) events.
+  [[nodiscard]] virtual std::uint64_t events_executed() const {
+    return sim().events_executed();
+  }
+  // Shard count of the execution engine (1 = the classic single queue).
+  [[nodiscard]] virtual int num_shards() const { return 1; }
   [[nodiscard]] virtual sim::Simulator& sim() = 0;
+  [[nodiscard]] virtual const sim::Simulator& sim() const = 0;
   [[nodiscard]] virtual transport::FlowTracker& tracker() = 0;
   [[nodiscard]] virtual const transport::FlowTracker& tracker() const = 0;
   [[nodiscard]] virtual std::int32_t num_hosts() const = 0;

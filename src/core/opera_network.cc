@@ -3,19 +3,67 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 namespace opera::core {
 
+namespace {
+
+// Resolved shard count: config override, else $OPERA_TEST_THREADS (the CI
+// matrix leg that runs the whole suite sharded), else 1; always clamped to
+// the rack count (a shard must own at least one rack-granularity domain).
+int resolve_shards(const OperaConfig& config) {
+  int threads = config.threads;
+  if (threads <= 0) {
+    if (const char* env = std::getenv("OPERA_TEST_THREADS")) {
+      threads = std::atoi(env);
+    }
+  }
+  if (threads <= 0) threads = 1;
+  // Sharding needs lookahead: a (hypothetical) zero-propagation fabric
+  // has none, so it runs single-queue like the rack clamp would.
+  if (!(config.link.propagation > sim::Time::zero())) threads = 1;
+  return std::min<int>(threads, config.topology.num_racks);
+}
+
+// Order-independent per-packet ECMP pick (what a real switch does: hash
+// header fields). Depending only on intrinsic packet identity — never on
+// a shared rng stream's draw order — is what keeps path selection, and
+// therefore all output, bit-identical under any shard count. Distinct
+// mixes per (rack, routing slice) de-correlate hops along a path; seq
+// spreads a flow's packets across equal-cost choices (NDP-style packet
+// spraying).
+std::size_t ecmp_pick(const net::Packet& pkt, std::int32_t rack, int rslice,
+                      std::size_t n) {
+  std::uint64_t h = sim::mix64(pkt.flow_id ^ (pkt.seq * 0x9E3779B97F4A7C15ULL) ^
+                               (static_cast<std::uint64_t>(static_cast<std::uint8_t>(pkt.type))
+                                << 56));
+  h = sim::mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rack)) << 32) ^
+                 static_cast<std::uint32_t>(rslice));
+  return static_cast<std::size_t>(h % n);
+}
+
+}  // namespace
+
 OperaNetwork::OperaNetwork(const OperaConfig& config)
     : config_(config),
       topo_(config.topology),
+      engine_(resolve_shards(config), config.link.propagation),
       rng_(config.seed),
       failures_(topo::FailureSet::none(config.topology.num_racks,
                                        config.topology.num_switches)) {
   relay_reach_.assign(static_cast<std::size_t>(config_.topology.num_racks),
                       std::vector<bool>(static_cast<std::size_t>(config_.topology.num_racks),
                                         true));
+  endpoints_.resize(static_cast<std::size_t>(engine_.num_shards()));
+  // Completions/deliveries are recorded on shard threads and merged in
+  // canonical (time, flow id) order at every epoch barrier — the same
+  // canonical stream for any shard count, so parity tests can compare the
+  // records verbatim.
+  tracker_.set_lanes(engine_.num_shards());
+  engine_.set_barrier_hook([this] { tracker_.flush_lanes(); });
+
   build_nodes();
   install_forwarding();
   install_host_handlers();
@@ -32,10 +80,14 @@ OperaNetwork::OperaNetwork(const OperaConfig& config)
         return topo_.slice_routes(
             s, route_around_failures_ ? &table_failures_ : nullptr);
       });
+  slice_tables_.set_concurrent(engine_.num_shards() > 1);
 
-  // Physical wiring of slice 0, then the slice clock.
+  // Physical wiring of slice 0, then the slice clock. Slice rotation is a
+  // *global* (barrier-aligned) event: it retargets circuits and allocates
+  // bulk grants across every rack, so it runs single-threaded between
+  // epochs, before any shard processes events of the same timestamp.
   wire_slice(0);
-  sim_.schedule_at(sim::Time::zero(), [this] { on_slice_boundary(0); });
+  engine_.global().schedule_at(sim::Time::zero(), [this] { on_slice_boundary(0); });
 }
 
 OperaNetwork::~OperaNetwork() = default;
@@ -48,7 +100,8 @@ void OperaNetwork::build_nodes() {
   const auto host_q = config_.host_queue_config();
 
   for (topo::Vertex r = 0; r < n; ++r) {
-    auto tor = std::make_unique<net::Switch>(sim_, "tor" + std::to_string(r), r);
+    auto& ctx = engine_.shard(shard_of_rack(r));
+    auto tor = std::make_unique<net::Switch>(ctx, "tor" + std::to_string(r), r);
     // Downlinks then uplinks.
     for (int i = 0; i < d + u; ++i) {
       tor->add_port(config_.link.rate_bps, config_.link.propagation, tor_q);
@@ -57,9 +110,10 @@ void OperaNetwork::build_nodes() {
     tors_.push_back(std::move(tor));
   }
   for (topo::Vertex r = 0; r < n; ++r) {
+    auto& ctx = engine_.shard(shard_of_rack(r));
     for (int i = 0; i < d; ++i) {
       const auto id = static_cast<std::int32_t>(r) * d + i;
-      auto host = std::make_unique<net::Host>(sim_, "host" + std::to_string(id), id, r);
+      auto host = std::make_unique<net::Host>(ctx, "host" + std::to_string(id), id, r);
       host->add_port(config_.link.rate_bps, config_.link.propagation, host_q);
       host->uplink().connect(tors_[static_cast<std::size_t>(r)].get(), i);
       tors_[static_cast<std::size_t>(r)]->port(i).connect(host.get(), 0);
@@ -74,13 +128,13 @@ int OperaNetwork::slice_at(sim::Time t) const {
   return static_cast<int>(abs % topo_.num_slices());
 }
 
-int OperaNetwork::routing_slice() const {
+int OperaNetwork::routing_slice(sim::Time now) const {
   // In the tail of a slice, route low-latency traffic by the *next*
   // slice's tables: those exclude the uplink that reconfigures at the
   // boundary, so nothing is left queued on it when it flushes (§4.1's
   // epsilon rule). The next-slice tables are physically valid here: the
   // currently-reconfiguring switch settled onto its next matching at +r.
-  const sim::Time into_slice = sim_.now() % config_.slice.duration;
+  const sim::Time into_slice = now % config_.slice.duration;
   if (config_.slice.duration - into_slice <= config_.slice.drain_window) {
     return (current_slice_ + 1) % topo_.num_slices();
   }
@@ -147,8 +201,9 @@ void OperaNetwork::on_slice_boundary(std::int64_t abs_slice) {
     port.set_enabled(false);
   }
 
-  // The rotor settles on its next matching after the reconfiguration delay.
-  sim_.schedule_in(config_.slice.reconfiguration, [this, sw_dn, next_slice] {
+  // The rotor settles on its next matching after the reconfiguration delay
+  // (a global event: it touches ports in every shard).
+  engine_.global().schedule_in(config_.slice.reconfiguration, [this, sw_dn, next_slice] {
     if (failures_.switch_failed[static_cast<std::size_t>(sw_dn)]) return;
     const int d = config_.topology.hosts_per_rack;
     for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
@@ -166,14 +221,15 @@ void OperaNetwork::on_slice_boundary(std::int64_t abs_slice) {
   });
 
   // Keep the table window ahead of the rotation: build what the next
-  // window() slices need (in parallel), evict what fell behind. Eager mode
-  // has everything resident already.
+  // window() slices need (in parallel — the shard workers are parked at
+  // the barrier, so the prefetch sweep has the whole pool), evict what
+  // fell behind. Eager mode has everything resident already.
   if (!slice_tables_.eager()) slice_tables_.prefetch(slice);
 
   allocate_bulk(slice);
 
-  sim_.schedule_in(config_.slice.duration,
-                   [this, abs_slice] { on_slice_boundary(abs_slice + 1); });
+  engine_.global().schedule_in(config_.slice.duration,
+                               [this, abs_slice] { on_slice_boundary(abs_slice + 1); });
 }
 
 void OperaNetwork::allocate_bulk(int slice) {
@@ -195,6 +251,8 @@ void OperaNetwork::allocate_bulk(int slice) {
   std::vector<std::int64_t> vlb_budget(in_budget);
 
   // Randomize uplink service order so no switch is systematically favored.
+  // This is the coordinator's rng: it only ever draws at barrier-aligned
+  // events, in global order, so the stream is shard-count-independent.
   std::vector<int> order(static_cast<std::size_t>(u));
   std::iota(order.begin(), order.end(), 0);
   rng_.shuffle(std::span<int>{order});
@@ -275,7 +333,9 @@ void OperaNetwork::install_forwarding() {
           pkt.type != net::PacketType::kData;
       if (low_latency_path) {
         if (pkt.dst_rack == rack) return pkt.dst_host - rack * d;
-        const int rslice = routing_slice();
+        // The deciding clock is the ToR's own shard clock — identical to
+        // the global clock at this event's timestamp under any sharding.
+        const int rslice = routing_slice(swch.sim().now());
         // peek() keeps the per-packet path free of cache bookkeeping; the
         // boundary prefetch guarantees residency in steady state, and the
         // get() fallback only fires on out-of-window reads.
@@ -283,7 +343,7 @@ void OperaNetwork::install_forwarding() {
         if (table == nullptr) table = &slice_tables_.get(rslice);
         const auto nexts = table->next_hops(rack, pkt.dst_rack);
         if (nexts.empty()) return -1;
-        const topo::Vertex next = nexts[rng_.index(nexts.size())];
+        const topo::Vertex next = nexts[ecmp_pick(pkt, rack, rslice, nexts.size())];
         const int sw = uplink_to(rslice, rack, next);
         return sw < 0 ? -1 : uplink_port(sw);
       }
@@ -317,7 +377,10 @@ void OperaNetwork::install_forwarding() {
 
 void OperaNetwork::install_host_handlers() {
   for (auto& host : hosts_) {
-    host->set_default_handler([this](net::Host& h, net::PacketPtr pkt) {
+    // Sink creation happens on the destination host's shard; each shard
+    // appends to its own endpoint pool.
+    const int sh = shard_of_host(host->id());
+    host->set_default_handler([this, sh](net::Host& h, net::PacketPtr pkt) {
       const transport::Flow* flow = tracker_.find(pkt->flow_id);
       if (flow == nullptr) return;
       if (pkt->type == net::PacketType::kNack) {
@@ -332,17 +395,18 @@ void OperaNetwork::install_host_handlers() {
       }
       if (flow->dst_host != h.id()) return;
       // First packet of a flow at its destination: create the sink.
+      EndpointPool& pool = endpoints_[static_cast<std::size_t>(sh)];
       if (flow->tclass == net::TrafficClass::kBulk) {
         auto sink = std::make_unique<transport::RotorLbSink>(h, *flow, tracker_);
         auto* raw = sink.get();
-        bulk_sinks_.push_back(std::move(sink));
+        pool.bulk_sinks.push_back(std::move(sink));
         h.register_flow(flow->id,
                         [raw](net::PacketPtr p) { raw->on_packet(std::move(p)); });
         raw->on_packet(std::move(pkt));
       } else {
         auto sink = std::make_unique<transport::NdpSink>(h, *flow, tracker_);
         auto* raw = sink.get();
-        ndp_sinks_.push_back(std::move(sink));
+        pool.ndp_sinks.push_back(std::move(sink));
         h.register_flow(flow->id,
                         [raw](net::PacketPtr p) { raw->on_packet(std::move(p)); });
         raw->on_packet(std::move(pkt));
@@ -371,20 +435,24 @@ std::uint64_t OperaNetwork::submit_flow(std::int32_t src_host, std::int32_t dst_
   if (flow.src_rack == flow.dst_rack) flow.tclass = net::TrafficClass::kLowLatency;
   tracker_.register_flow(flow);
 
-  sim_.schedule_at(start, [this, flow] {
+  // The start event is seeded onto the source host's shard with a
+  // submission-order key, so equal-time starts order identically under any
+  // shard count.
+  const int sh = shard_of_host(flow.src_host);
+  engine_.seed(sh, start, [this, sh, flow] {
     if (flow.tclass == net::TrafficClass::kBulk) {
       agents_[static_cast<std::size_t>(flow.src_host)]->add_flow(flow);
     } else {
       auto source = std::make_unique<transport::NdpSource>(
           host(flow.src_host), flow, tracker_, config_.ndp);
       source->start();
-      ndp_sources_.push_back(std::move(source));
+      endpoints_[static_cast<std::size_t>(sh)].ndp_sources.push_back(std::move(source));
     }
   });
   return flow.id;
 }
 
-void OperaNetwork::run_until(sim::Time t) { sim_.run_until(t); }
+void OperaNetwork::run_until(sim::Time t) { engine_.run_until(t); }
 
 void OperaNetwork::inject_uplink_failure(std::int32_t rack, int rotor_switch) {
   failures_.uplink_failed[static_cast<std::size_t>(rack)]
@@ -398,8 +466,9 @@ void OperaNetwork::inject_uplink_failure(std::int32_t rack, int rotor_switch) {
     }
   });
   t.port(uplink_port(rotor_switch)).set_enabled(false);
-  // Hello-protocol dissemination: tables reconverge after one cycle.
-  sim_.schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
+  // Hello-protocol dissemination: tables reconverge after one cycle (a
+  // global event — recomputation touches every ToR's state).
+  engine_.global().schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
 }
 
 void OperaNetwork::inject_switch_failure(int rotor_switch) {
@@ -414,7 +483,7 @@ void OperaNetwork::inject_switch_failure(int rotor_switch) {
     });
     t.port(uplink_port(rotor_switch)).set_enabled(false);
   }
-  sim_.schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
+  engine_.global().schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
 }
 
 void OperaNetwork::recompute_after_failure() {
@@ -469,7 +538,17 @@ OperaNetwork::TorStats OperaNetwork::tor_stats() const {
   return stats;
 }
 
+std::size_t OperaNetwork::voq_memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& agent : agents_) bytes += agent->memory_bytes();
+  for (const auto& relay : relays_) bytes += relay->memory_bytes();
+  return bytes;
+}
+
 std::string OperaNetwork::describe() const {
+  // Deliberately identical for any shard count: describe() lands in CSV
+  // rows, and sharding must not change a byte of bench output (the
+  // threads note carries the metadata instead).
   char buf[96];
   std::snprintf(buf, sizeof buf, "Opera (%d racks x %d hosts, %d rotors)",
                 num_racks(), config_.topology.hosts_per_rack,

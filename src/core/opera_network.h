@@ -23,6 +23,7 @@
 #include "net/host.h"
 #include "net/switch.h"
 #include "sim/rng.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "topo/opera_topology.h"
 #include "topo/slice_table_cache.h"
@@ -47,7 +48,22 @@ class OperaNetwork : public Network {
 
   void run_until(sim::Time t) override;
 
-  [[nodiscard]] sim::Simulator& sim() override { return sim_; }
+  // The coordinator simulator: its clock is the committed global time and
+  // its queue holds barrier-aligned global events (slice boundaries,
+  // failure injections, progress ticks). With threads == 1 this is still
+  // the natural place for test probes; packet events live on the shard(s).
+  [[nodiscard]] sim::Simulator& sim() override { return engine_.global(); }
+  [[nodiscard]] const sim::Simulator& sim() const override { return engine_.global(); }
+  [[nodiscard]] sim::ShardedSimulator& engine() { return engine_; }
+  [[nodiscard]] std::uint64_t events_executed() const override {
+    return engine_.events_executed();
+  }
+  // Resolved shard count (config threads clamped to [1, num_racks]).
+  [[nodiscard]] int num_shards() const override { return engine_.num_shards(); }
+  [[nodiscard]] int shard_of_rack(std::int32_t rack) const {
+    return static_cast<int>(static_cast<std::int64_t>(rack) * engine_.num_shards() /
+                            topo_.num_racks());
+  }
   [[nodiscard]] transport::FlowTracker& tracker() override { return tracker_; }
   [[nodiscard]] const transport::FlowTracker& tracker() const override {
     return tracker_;
@@ -72,9 +88,11 @@ class OperaNetwork : public Network {
   // Slice index (within [0, num_slices)) active at time `t`.
   [[nodiscard]] int slice_at(sim::Time t) const;
   [[nodiscard]] int current_slice() const { return current_slice_; }
-  // Slice whose tables low-latency forwarding uses right now (advances to
-  // the next slice inside the end-of-slice drain window; see config.h).
-  [[nodiscard]] int routing_slice() const;
+  // Slice whose tables low-latency forwarding uses at time `now` (advances
+  // to the next slice inside the end-of-slice drain window; see config.h).
+  // Forwarding passes the deciding ToR's shard-local clock.
+  [[nodiscard]] int routing_slice(sim::Time now) const;
+  [[nodiscard]] int routing_slice() const { return routing_slice(engine_.now()); }
 
   // Aggregate drop/trim statistics across all ToR uplinks.
   struct TorStats {
@@ -101,6 +119,10 @@ class OperaNetwork : public Network {
     return slice_tables_;
   }
 
+  // Structural memory of the sparse bulk VOQs (host agents + ToR relay
+  // buffers) — the k=32 memory probe (see transport/sparse_voq.h).
+  [[nodiscard]] std::size_t voq_memory_bytes() const;
+
  private:
   void build_nodes();
   void recompute_after_failure();
@@ -118,19 +140,33 @@ class OperaNetwork : public Network {
   // `peer_rack` from `rack` in `slice`; -1 if none.
   [[nodiscard]] int uplink_to(int slice, std::int32_t rack, std::int32_t peer_rack) const;
 
+  [[nodiscard]] int shard_of_host(std::int32_t host) const {
+    return shard_of_rack(rack_of_host(host));
+  }
+
   OperaConfig config_;
   topo::OperaTopology topo_;
-  sim::Simulator sim_;
-  sim::Rng rng_;
+  // The sharded engine: rack-granularity domains, lookahead = the inter-
+  // ToR link propagation delay (the minimum cross-shard event latency).
+  // Declared before the nodes so node ShardContext references outlive
+  // them. threads==1 collapses to the classic single-queue loop.
+  sim::ShardedSimulator engine_;
+  sim::Rng rng_;  // coordinator-phase randomness only (bulk grant order)
   transport::FlowTracker tracker_;
 
   std::vector<std::unique_ptr<net::Host>> hosts_;
   std::vector<std::unique_ptr<net::Switch>> tors_;
   std::vector<std::unique_ptr<transport::RotorLbAgent>> agents_;       // per host
   std::vector<std::unique_ptr<transport::RotorRelayBuffer>> relays_;   // per ToR
-  std::vector<std::unique_ptr<transport::NdpSource>> ndp_sources_;
-  std::vector<std::unique_ptr<transport::NdpSink>> ndp_sinks_;
-  std::vector<std::unique_ptr<transport::RotorLbSink>> bulk_sinks_;
+  // Transport endpoints, owned per shard: they are created during shard
+  // phases (flow starts, first-packet sink creation), so each shard
+  // appends to its own pool.
+  struct EndpointPool {
+    std::vector<std::unique_ptr<transport::NdpSource>> ndp_sources;
+    std::vector<std::unique_ptr<transport::NdpSink>> ndp_sinks;
+    std::vector<std::unique_ptr<transport::RotorLbSink>> bulk_sinks;
+  };
+  std::vector<EndpointPool> endpoints_;  // [shard]
 
   // Per-slice low-latency ECMP tables (paper §4.3): eager or windowed.
   topo::SliceTableCache slice_tables_;

@@ -28,7 +28,21 @@ Experiment::RunResult Experiment::run(const std::string& label,
   const auto wall_start = std::chrono::steady_clock::now();
   RunResult result;
   result.label = label;
-  result.net = core::NetworkFactory::build(config);
+  // --threads applies to any run that didn't pin a count itself.
+  core::FabricConfig effective = config;
+  if (effective.threads == 0 && opts_.threads > 0) effective.threads = opts_.threads;
+  result.net = core::NetworkFactory::build(effective);
+  // Emit the shard count as report metadata, from the *resolved* count
+  // (which includes the OPERA_TEST_THREADS env default and the rack-count
+  // clamp — not just the raw flag), so result artifacts record how the
+  // wall-clock was produced (scripts/check_bench_baseline.py carries it
+  // through). Re-emitted whenever a sweep's resolved count changes;
+  // parse_csv_threads summarizes a mixed artifact as the maximum.
+  if (result.net->num_shards() != noted_threads_ &&
+      (result.net->num_shards() > 1 || noted_threads_ > 0)) {
+    noted_threads_ = result.net->num_shards();
+    report_.note("threads=%d", noted_threads_);
+  }
   if (opts.setup) opts.setup(*result.net);
   for (const auto& f : flows) {
     if (opts.remap) {

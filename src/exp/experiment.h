@@ -92,6 +92,7 @@ class Experiment {
  private:
   CliOptions opts_;
   Report report_;
+  int noted_threads_ = -1;  // last `# threads=` note value; -1 = none yet
 };
 
 }  // namespace opera::exp

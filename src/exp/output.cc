@@ -41,6 +41,11 @@ CliOptions CliOptions::parse(int argc, char** argv) {
   } else if (has_flag(argc, argv, "--csv")) {
     opts.format = OutputFormat::kCsv;
   }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      opts.threads = std::atoi(argv[i] + 10);
+    }
+  }
   return opts;
 }
 

@@ -19,11 +19,15 @@ namespace opera::exp {
 
 enum class OutputFormat : std::uint8_t { kHuman, kCsv, kJson };
 
-// Flags shared by all bench binaries: --full (paper scale), --csv, --json.
-// Unknown arguments are ignored so binaries can add their own.
+// Flags shared by all bench binaries: --full (paper scale), --csv, --json,
+// --threads=N (sharded event loop; Opera fabrics). Unknown arguments are
+// ignored so binaries can add their own.
 struct CliOptions {
   bool full = false;
   OutputFormat format = OutputFormat::kHuman;
+  // Shard count for fabrics that support the sharded event loop; 0 = the
+  // config/env default (see core::OperaConfig::threads).
+  int threads = 0;
 
   static CliOptions parse(int argc, char** argv);
   static bool has_flag(int argc, char** argv, const char* flag);

@@ -28,7 +28,7 @@ void Host::pacer_kick() {
   // One control emission per full-MTU time: data pulled by these credits
   // then arrives at (at most) the receiver's link rate.
   const sim::Time interval = sim::Time::transmission(kMtuBytes, uplink().rate_bps());
-  sim_.schedule_in(interval, [this] {
+  sim().schedule_in(interval, [this] {
     pacer_busy_ = false;
     pacer_kick();
   });

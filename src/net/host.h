@@ -19,6 +19,8 @@ class Host : public Node {
   // receiver endpoints lazily on first arrival).
   using DefaultHandler = std::function<void(Host&, PacketPtr)>;
 
+  Host(sim::ShardContext& ctx, std::string name, std::int32_t id, std::int32_t rack)
+      : Node(ctx, std::move(name)), id_(id), rack_(rack) {}
   Host(sim::Simulator& sim, std::string name, std::int32_t id, std::int32_t rack)
       : Node(sim, std::move(name)), id_(id), rack_(rack) {}
 

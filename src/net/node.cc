@@ -31,13 +31,16 @@ void OutPort::pump() {
   Node* peer = peer_;
   const int in_port = peer_in_port_;
   const sim::Time arrival_delay = serialization + latency_;
-  // The callback owns the packet (SmallCallback is move-only-capable), so
-  // an in-flight packet whose arrival never fires — simulator torn down
-  // mid-run — is still reclaimed.
-  sim_.schedule_in(arrival_delay, [peer, in_port, pkt = std::move(pkt)]() mutable {
-    peer->receive(std::move(pkt), in_port);
-  });
-  sim_.schedule_in(serialization, [this] {
+  // The arrival is posted into the *peer's* domain — a mailbox hop when
+  // the peer lives on another shard; `latency_` is what bounds the
+  // sharded engine's lookahead. The callback owns the packet (SmallCallback
+  // is move-only-capable), so an in-flight packet whose arrival never
+  // fires — simulator torn down mid-run — is still reclaimed.
+  ctx_.post(peer->ctx(), ctx_.now() + arrival_delay,
+            [peer, in_port, pkt = std::move(pkt)]() mutable {
+              peer->receive(std::move(pkt), in_port);
+            });
+  ctx_.schedule_in(serialization, [this] {
     busy_ = false;
     pump();
   });

@@ -5,6 +5,13 @@
 // node. Rotor uplinks additionally support retargeting (the circuit switch
 // "patches" the far end to a different ToR each slice) and disable/flush
 // around reconfigurations.
+//
+// Event posting goes through the node's sim::ShardContext — the shard
+// handle — rather than a global simulator: packet arrivals are posted into
+// the *peer's* domain (a mailbox hop when the peer lives on another
+// shard), local timers stay on the node's own queue. Unsharded fabrics
+// construct nodes with a plain Simulator&, which wraps it in a standalone
+// context and behaves exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,7 @@
 
 #include "net/packet.h"
 #include "net/queue.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -24,9 +32,9 @@ class Node;
 
 class OutPort {
  public:
-  OutPort(sim::Simulator& sim, double rate_bps, sim::Time latency,
+  OutPort(sim::ShardContext& ctx, double rate_bps, sim::Time latency,
           const PortQueue::Config& queue_config)
-      : sim_(sim), rate_bps_(rate_bps), latency_(latency), queue_(queue_config) {}
+      : ctx_(ctx), rate_bps_(rate_bps), latency_(latency), queue_(queue_config) {}
 
   // Wires the far end. May be re-pointed at any time (rotor reconfigure);
   // packets already serialized continue to their original destination.
@@ -57,7 +65,7 @@ class OutPort {
  private:
   void pump();
 
-  sim::Simulator& sim_;
+  sim::ShardContext& ctx_;
   double rate_bps_;
   sim::Time latency_;
   PortQueue queue_;
@@ -69,7 +77,13 @@ class OutPort {
 
 class Node {
  public:
-  Node(sim::Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  // Sharded construction: the node lives in `ctx`'s domain.
+  Node(sim::ShardContext& ctx, std::string name) : ctx_(&ctx), name_(std::move(name)) {}
+  // Unsharded construction: wraps `sim` in a standalone context.
+  Node(sim::Simulator& sim, std::string name)
+      : owned_ctx_(std::make_unique<sim::ShardContext>(sim)),
+        ctx_(owned_ctx_.get()),
+        name_(std::move(name)) {}
   virtual ~Node() = default;
 
   Node(const Node&) = delete;
@@ -78,7 +92,7 @@ class Node {
   virtual void receive(PacketPtr pkt, int in_port) = 0;
 
   int add_port(double rate_bps, sim::Time latency, const PortQueue::Config& config) {
-    ports_.push_back(std::make_unique<OutPort>(sim_, rate_bps, latency, config));
+    ports_.push_back(std::make_unique<OutPort>(*ctx_, rate_bps, latency, config));
     return static_cast<int>(ports_.size()) - 1;
   }
 
@@ -86,12 +100,12 @@ class Node {
   [[nodiscard]] const OutPort& port(int i) const { return *ports_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] int num_ports() const { return static_cast<int>(ports_.size()); }
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
-
- protected:
-  sim::Simulator& sim_;
+  [[nodiscard]] sim::Simulator& sim() { return ctx_->sim(); }
+  [[nodiscard]] sim::ShardContext& ctx() { return *ctx_; }
 
  private:
+  std::unique_ptr<sim::ShardContext> owned_ctx_;  // legacy-ctor wrapper only
+  sim::ShardContext* ctx_;
   std::string name_;
   std::vector<std::unique_ptr<OutPort>> ports_;
 };

@@ -25,6 +25,8 @@ class Switch : public Node {
   // whose direct circuit just retargeted) — Opera ToRs NACK the source.
   using DropHook = std::function<void(Switch&, const Packet&)>;
 
+  Switch(sim::ShardContext& ctx, std::string name, std::int32_t id)
+      : Node(ctx, std::move(name)), id_(id) {}
   Switch(sim::Simulator& sim, std::string name, std::int32_t id)
       : Node(sim, std::move(name)), id_(id) {}
 

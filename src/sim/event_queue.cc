@@ -28,8 +28,9 @@ void EventQueueImpl::link_sorted(std::uint32_t id) {
     meta[id].prev = meta[id].next = kNoSlot;
     return;
   }
-  // Most inserts carry the latest (time, seq) in their bucket, so walk
-  // backward from the tail; equal times append O(1) because seq increases.
+  // Most inserts carry the latest (time, key) in their bucket, so walk
+  // backward from the tail; counter-keyed equal times append O(1) because
+  // the key increases (hash-keyed ties pay a short walk).
   if (!before(id, t)) {
     meta[id].prev = t;
     meta[id].next = kNoSlot;
@@ -208,11 +209,15 @@ bool EventHandle::pending() const {
 EventQueue::~EventQueue() { detail::retire_impl(impl_); }
 
 EventHandle EventQueue::schedule(Time at, Callback fn) {
+  return schedule_keyed(at, impl_->next_seq++, std::move(fn));
+}
+
+EventHandle EventQueue::schedule_keyed(Time at, std::uint64_t key, Callback fn) {
   detail::EventQueueImpl& q = *impl_;
   const std::uint32_t id = q.alloc_slot();
   detail::EventQueueImpl::Meta& m = q.meta[id];
   m.at = at;
-  m.seq = static_cast<std::uint32_t>(q.next_seq++);
+  m.key = key;
   q.fns[id] = std::move(fn);
   q.link_sorted(id);
   ++q.count;
@@ -226,7 +231,10 @@ EventHandle EventQueue::schedule(Time at, Callback fn) {
   // Events may be scheduled before the current scan point (the raw queue
   // does not require monotonic time); keep the lower bound honest.
   if (at_ps < q.scan_from) q.scan_from = at_ps;
-  if (q.min_slot != detail::kNoSlot && at < q.meta[q.min_slot].at) q.min_slot = id;
+  // Keys are caller-chosen, so a later schedule can order *before* the
+  // cached minimum even at an equal timestamp — compare the full
+  // (time, key), not just the time.
+  if (q.min_slot != detail::kNoSlot && q.before(id, q.min_slot)) q.min_slot = id;
   if (q.count > 2 * q.nb || q.long_walks >= 8) {
     q.long_walks = 0;
     q.resize();
@@ -234,7 +242,7 @@ EventHandle EventQueue::schedule(Time at, Callback fn) {
   return EventHandle{impl_, id, m.generation};
 }
 
-Time EventQueue::run_next() {
+EventQueue::Callback EventQueue::take_next(Time* at, std::uint64_t* key) {
   detail::EventQueueImpl& q = *impl_;
   assert(q.count > 0);
   // Repeated long scans mean the bucket width has drifted away from the
@@ -246,22 +254,31 @@ Time EventQueue::run_next() {
   }
   q.find_min();
   const std::uint32_t id = q.min_slot;
-  const Time at = q.meta[id].at;
-  // Move the callback out and free the slot *before* running: the callback
-  // may schedule new events, growing the slab and reusing this slot.
+  *at = q.meta[id].at;
+  *key = q.meta[id].key;
+  // Move the callback out and free the slot *before* it can run: the
+  // callback may schedule new events, growing the slab and reusing this
+  // slot.
   Callback fn = std::move(q.fns[id]);
   q.fns[id].reset();
   q.unlink(id);
   q.release(id);
   --q.count;
   q.min_slot = detail::kNoSlot;
-  const std::int64_t at_ps = at.picoseconds();
+  const std::int64_t at_ps = at->picoseconds();
   q.scan_from = at_ps;
   if (q.pop_hist_n == 0 || q.pop_hist[(q.pop_hist_n - 1) & 15] != at_ps) {
     q.pop_hist[q.pop_hist_n & 15] = at_ps;
     ++q.pop_hist_n;
   }
   if (q.nb > 64 && q.count < q.nb / 8) q.resize();
+  return fn;
+}
+
+Time EventQueue::run_next() {
+  Time at;
+  std::uint64_t key;
+  Callback fn = take_next(&at, &key);
   fn();
   return at;
 }

@@ -1,20 +1,26 @@
 // The discrete-event core: a cancellable calendar-queue event scheduler.
 //
-// Events at equal timestamps fire in schedule order (a strictly increasing
-// sequence number breaks ties), which keeps simulations deterministic.
+// Events fire in (time, order-key) order. schedule() assigns keys from a
+// strictly increasing counter, so events at equal timestamps fire in
+// schedule order — the classic deterministic single-queue behavior.
+// schedule_keyed() lets the caller pick the 64-bit key instead; the
+// sharded simulator uses this to give every event a key derived from its
+// *causal parent* rather than from queue arrival order, which makes the
+// equal-time tie-break independent of how the simulation is partitioned
+// into shards (see sim/sharded.h).
 //
 // Layout (the per-packet hot path schedules and fires two events, so this
 // is the single hottest structure in the simulator):
 //   * a slab of reusable slots holds each pending event; freed slots go on
 //     a free list and are reused, so steady-state scheduling performs no
 //     heap allocation (callbacks use SmallCallback's inline buffer). The
-//     slab is split into a compact 24-byte metadata array (time, seq,
+//     slab is split into a compact 32-byte metadata array (time, key,
 //     links, generation — everything ordering touches) and a parallel
 //     callback array touched only at schedule and fire, which keeps the
 //     working set of ordering operations small;
 //   * slots are threaded into a calendar of time buckets (Brown '88, the
 //     structure htsim-class simulators use): bucket = (t / width) mod nb,
-//     each bucket a doubly-linked list sorted by (time, seq). Schedule and
+//     each bucket a doubly-linked list sorted by (time, key). Schedule and
 //     cancel are O(1) expected; pop scans forward from the last-popped
 //     time and the bucket count/width self-tune to the pending-event
 //     density, so dequeue is O(1) amortized rather than O(log n);
@@ -43,14 +49,14 @@ inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
 // can outlive the EventQueue: the queue's destructor releases the event
 // storage but the block itself stays until the last handle drops it.
 struct EventQueueImpl {
-  // Ordering metadata only — kept to 24 bytes so bucket walks and pop
+  // Ordering metadata only — kept to 32 bytes so bucket walks and pop
   // scans stay in cache even with 10^5 pending events.
   struct Meta {
     Time at;
-    // Truncated sequence number; ties compare with wraparound-aware
-    // subtraction, which is exact as long as two equal-time pending events
-    // were scheduled within 2^31 schedules of each other.
-    std::uint32_t seq = 0;
+    // Equal-time tie-break, compared as a plain 64-bit integer. Internal
+    // (schedule()) keys come from a monotone counter; external
+    // (schedule_keyed()) keys are caller-chosen.
+    std::uint64_t key = 0;
     std::uint32_t prev = kNoSlot;
     std::uint32_t next = kNoSlot;
     std::uint32_t generation = 0;
@@ -103,7 +109,7 @@ struct EventQueueImpl {
     const Meta& x = meta[a];
     const Meta& y = meta[b];
     if (x.at != y.at) return x.at < y.at;
-    return static_cast<std::int32_t>(x.seq - y.seq) < 0;
+    return x.key < y.key;
   }
 
   std::uint32_t alloc_slot();
@@ -187,8 +193,13 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  // Schedules `fn` to run at absolute time `at`.
+  // Schedules `fn` to run at absolute time `at`. Equal-time events fire in
+  // schedule order (an internal counter supplies the order key).
   EventHandle schedule(Time at, Callback fn);
+
+  // Schedules `fn` at `at` with a caller-chosen equal-time order key.
+  // Events with equal (at, key) fire in schedule order.
+  EventHandle schedule_keyed(Time at, std::uint64_t key, Callback fn);
 
   // Exact: cancelled events leave the queue immediately.
   [[nodiscard]] bool empty() const { return impl_->count == 0; }
@@ -204,6 +215,12 @@ class EventQueue {
   // Pops and runs the earliest event; returns its timestamp.
   // Precondition: !empty().
   Time run_next();
+
+  // Pops the earliest event *without* running it, returning its callback
+  // and filling its timestamp and order key. The Simulator uses this to
+  // publish the event's key (for causal key derivation) before dispatch.
+  // Precondition: !empty().
+  [[nodiscard]] Callback take_next(Time* at, std::uint64_t* key);
 
   // Drops all pending events.
   void clear();

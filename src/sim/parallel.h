@@ -1,25 +1,26 @@
 // parallel_for — a minimal fork-join helper for embarrassingly parallel
 // index ranges (per-slice routing tables, per-source BFS sweeps).
 //
-// Work is claimed through a shared atomic counter, so uneven iteration
-// costs balance automatically. Falls back to a plain loop when the range
-// or the machine is too small to benefit. The first exception thrown by an
-// iteration is rethrown on the calling thread after the join.
+// Work runs on the process-wide WorkerPool (see sim/worker_pool.h), the
+// same pool the sharded event loop's epoch phases use, so prefetch sweeps
+// and shard execution never oversubscribe the machine by spawning rival
+// thread sets. Work is claimed through a shared atomic counter, so uneven
+// iteration costs balance automatically. Falls back to a plain loop when
+// the range or the machine is too small to benefit. The first exception
+// thrown by an iteration is rethrown on the calling thread after the join.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "sim/worker_pool.h"
 
 namespace opera::sim {
 
 // Number of workers parallel_for will use for a range of size n.
 [[nodiscard]] inline unsigned parallel_workers(std::size_t n, unsigned max_threads = 0) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  unsigned workers = max_threads != 0 ? max_threads : (hw != 0 ? hw : 1);
+  const unsigned pool = WorkerPool::shared().size();
+  unsigned workers = max_threads != 0 && max_threads < pool ? max_threads : pool;
   if (static_cast<std::size_t>(workers) > n) workers = static_cast<unsigned>(n);
   return workers == 0 ? 1 : workers;
 }
@@ -36,34 +37,7 @@ void parallel_for(std::size_t n, Fn&& fn, unsigned max_threads = 0) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto work = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  try {
-    for (unsigned t = 1; t < workers; ++t) threads.emplace_back(work);
-  } catch (const std::system_error&) {
-    // Thread-resource exhaustion: degrade to however many workers spawned
-    // (possibly none) — the calling thread drains the rest of the range.
-  }
-  work();
-  for (auto& thread : threads) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::shared().run(n, std::forward<Fn>(fn), workers);
 }
 
 }  // namespace opera::sim

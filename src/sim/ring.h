@@ -20,6 +20,8 @@ class Ring {
  public:
   [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] std::size_t size() const { return count_; }
+  // Element storage owned by the ring (memory probes).
+  [[nodiscard]] std::size_t memory_bytes() const { return buf_.capacity() * sizeof(T); }
 
   void push_back(T value) {
     if (count_ == buf_.size()) grow();

@@ -1,0 +1,121 @@
+#include "sim/worker_pool.h"
+
+#include <cstdlib>
+
+namespace opera::sim {
+
+namespace {
+// Set while a thread executes pool work: nested run() calls (a pool task
+// that itself calls parallel_for) execute inline instead of deadlocking on
+// the pool they are already occupying.
+thread_local bool t_in_pool_task = false;
+}  // namespace
+
+WorkerPool::WorkerPool(unsigned threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw != 0 ? hw : 1;
+  }
+  workers_.reserve(threads - 1);
+  try {
+    for (unsigned t = 1; t < threads; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (const std::system_error&) {
+    // Thread-resource exhaustion: run with however many workers spawned.
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool* pool = [] {
+    unsigned threads = 0;
+    if (const char* env = std::getenv("OPERA_POOL_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) threads = static_cast<unsigned>(v);
+    }
+    return new WorkerPool(threads);  // leaked: lives for the process
+  }();
+  return *pool;
+}
+
+void WorkerPool::run_raw(std::size_t n, RawFn fn, void* ctx, unsigned max_workers) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || max_workers == 1 || t_in_pool_task) {
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+
+  Job job;
+  job.fn = fn;
+  job.ctx = ctx;
+  job.n = n;
+  job.max_workers = max_workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  work_on(job);  // the caller is always a participant
+
+  // Close the job to new entrants, then wait for in-flight workers. A
+  // worker only touches `job` while counted in active_, so after this wait
+  // the stack object is safe to destroy.
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = nullptr;
+  done_.wait(lock, [this] { return active_ == 0; });
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void WorkerPool::work_on(Job& job) {
+  t_in_pool_task = true;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      job.fn(job.ctx, i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+  t_in_pool_task = false;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return shutdown_ || (job_ != nullptr && generation_ != seen); });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      // Respect the job's participation cap (parallel_for's max_threads);
+      // the caller counts as one participant.
+      const unsigned limit = job->max_workers == 0 ? ~0u : job->max_workers - 1;
+      if (job->participants.load(std::memory_order_relaxed) >= limit) continue;
+      job->participants.fetch_add(1, std::memory_order_relaxed);
+      ++active_;
+    }
+    work_on(*job);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    done_.notify_one();
+  }
+}
+
+}  // namespace opera::sim

@@ -1,0 +1,90 @@
+// WorkerPool — a persistent fork-join pool shared by every parallel phase
+// in the process: parallel_for's construction-time sweeps (slice routing
+// tables, per-source BFS) and the ShardedSimulator's per-epoch shard
+// phases. One pool means the two can never oversubscribe the machine by
+// each spawning its own thread set (the failure mode of the old ad-hoc
+// std::thread-per-call parallel_for).
+//
+// Model: run(n, fn) executes fn(i) for i in [0, n); the calling thread
+// participates, so a pool of size S provides S-way parallelism with S-1
+// resident threads. Work is claimed through a shared atomic counter, so
+// uneven iteration costs balance automatically. Calls from inside a pool
+// task degrade to inline execution (no deadlock, no nested fan-out). The
+// first exception thrown by an iteration is rethrown on the caller.
+//
+// run() publishes the job under a mutex and wakes the resident workers;
+// idle workers cost nothing. The per-call overhead is a few microseconds,
+// which the epoch loop amortizes by batching every shard's events for a
+// lookahead window into one run() (see sim/sharded.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace opera::sim {
+
+class WorkerPool {
+ public:
+  // A pool providing `threads`-way parallelism (the caller plus
+  // threads - 1 resident workers). threads == 0 sizes from the hardware.
+  explicit WorkerPool(unsigned threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // The process-wide pool: hardware_concurrency()-way, overridable with
+  // OPERA_POOL_THREADS (useful to exercise real thread interleaving on
+  // small CI boxes, or to pin the pool below the machine size).
+  [[nodiscard]] static WorkerPool& shared();
+
+  // Total parallelism (resident workers + the calling thread).
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  // Runs fn(i) for every i in [0, n); returns when all have finished.
+  // At most max_workers threads participate (0 = no limit). fn must
+  // tolerate concurrent invocation for distinct i.
+  template <typename Fn>
+  void run(std::size_t n, Fn&& fn, unsigned max_workers = 0) {
+    using F = std::remove_reference_t<Fn>;
+    run_raw(
+        n, [](void* ctx, std::size_t i) { (*static_cast<F*>(ctx))(i); },
+        const_cast<std::remove_const_t<F>*>(&fn), max_workers);
+  }
+
+ private:
+  using RawFn = void (*)(void* ctx, std::size_t i);
+
+  struct Job {
+    RawFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t n = 0;
+    unsigned max_workers = 0;
+    std::atomic<std::size_t> next{0};      // work-claim cursor
+    std::atomic<unsigned> participants{0};
+    std::exception_ptr error;              // first failure (under pool mutex)
+  };
+
+  void run_raw(std::size_t n, RawFn fn, void* ctx, unsigned max_workers);
+  void work_on(Job& job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // workers: new job or shutdown
+  std::condition_variable done_;   // caller: all participants retired
+  Job* job_ = nullptr;             // null when no job is accepting entrants
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;            // workers currently inside job_
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace opera::sim

@@ -10,9 +10,13 @@
 namespace opera::topo {
 
 SliceTableCache::SliceTableCache(int num_slices, Config config, Builder builder)
-    : num_slices_(num_slices), builder_(std::move(builder)) {
+    : num_slices_(num_slices),
+      demand_mutex_(std::make_unique<std::mutex>()),
+      builder_(std::move(builder)) {
   assert(num_slices_ > 0 && builder_);
   slots_.resize(static_cast<std::size_t>(num_slices_));
+  published_ = std::vector<std::atomic<const EcmpTable*>>(
+      static_cast<std::size_t>(num_slices_));
   last_use_.assign(static_cast<std::size_t>(num_slices_), 0);
 
   if (config.window > 0) {
@@ -41,6 +45,21 @@ SliceTableCache::SliceTableCache(int num_slices, Config config, Builder builder)
 const EcmpTable& SliceTableCache::get(int slice) {
   assert(slice >= 0 && slice < num_slices_);
   auto& slot = slots_[static_cast<std::size_t>(slice)];
+  if (concurrent_) {
+    // Concurrent shard phases may demand the same out-of-window slice;
+    // serialize the build and re-check under the lock. Eviction is
+    // deferred to the next barrier prefetch so no reader loses its table.
+    const std::lock_guard<std::mutex> lock(*demand_mutex_);
+    if (slot == nullptr) {
+      ++stats_.demand_builds;
+      install(slice, builder_(slice));
+      touch(slice);
+    } else {
+      ++stats_.hits;
+      touch(slice);
+    }
+    return *slot;
+  }
   if (slot == nullptr) {
     ++stats_.demand_builds;
     install(slice, builder_(slice));
@@ -79,6 +98,7 @@ void SliceTableCache::prefetch(int first) {
 }
 
 void SliceTableCache::invalidate_all() {
+  for (auto& p : published_) p.store(nullptr, std::memory_order_release);
   for (auto& slot : slots_) slot.reset();
   std::fill(last_use_.begin(), last_use_.end(), 0);
   stats_.resident = 0;
@@ -93,6 +113,11 @@ void SliceTableCache::install(int slice, EcmpTable table) {
   stats_.resident_bytes += slot->memory_bytes();
   stats_.peak_resident_bytes =
       std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  // Publish after the table is fully constructed: a racing peek() either
+  // sees null (and falls back to the mutex-guarded get()) or a complete
+  // table.
+  published_[static_cast<std::size_t>(slice)].store(slot.get(),
+                                                    std::memory_order_release);
 }
 
 void SliceTableCache::evict_beyond_window() {
@@ -108,6 +133,8 @@ void SliceTableCache::evict_beyond_window() {
     }
     assert(victim >= 0);
     stats_.resident_bytes -= slots_[static_cast<std::size_t>(victim)]->memory_bytes();
+    published_[static_cast<std::size_t>(victim)].store(nullptr,
+                                                       std::memory_order_release);
     slots_[static_cast<std::size_t>(victim)].reset();
     --stats_.resident;
     ++stats_.evictions;

@@ -17,10 +17,12 @@
 // dropped; rebuilt tables pick up the new failure set through the builder.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "topo/graph.h"
@@ -74,9 +76,12 @@ class SliceTableCache {
   // the hit counter and the LRU touch — window freshness is maintained by
   // the boundary prefetch, which re-ticks every in-window slice, so
   // per-lookup touches add nothing but hot-path cost. In eager mode this
-  // never returns null after construction.
+  // never returns null after construction. Reads the atomically published
+  // pointer (acquire), pairing with install()'s release store, so a
+  // concurrent demand build on another shard is either fully visible or
+  // not yet published — never torn.
   [[nodiscard]] const EcmpTable* peek(int slice) const {
-    return slots_[static_cast<std::size_t>(slice)].get();
+    return published_[static_cast<std::size_t>(slice)].load(std::memory_order_acquire);
   }
 
   // Ensures the window() slices starting at `first` (wrapping) are
@@ -89,6 +94,14 @@ class SliceTableCache {
   // changed, so cached content is stale). Resolved window is kept.
   void invalidate_all();
 
+  // Sharded execution: get()'s demand path may be hit concurrently from
+  // shard phases, so it takes a mutex and defers eviction to the next
+  // (single-threaded) prefetch — a demand build may briefly exceed the
+  // window rather than free a table another shard could be reading.
+  // peek() stays lock-free: resident in-window slots only change at
+  // barriers (prefetch/invalidate), never during a phase.
+  void set_concurrent(bool on) { concurrent_ = on; }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
@@ -98,8 +111,15 @@ class SliceTableCache {
 
   int num_slices_ = 0;
   int window_ = 0;
+  bool concurrent_ = false;
+  std::unique_ptr<std::mutex> demand_mutex_;  // unique_ptr: cache is movable
   Builder builder_;
   std::vector<std::unique_ptr<EcmpTable>> slots_;  // [slice] -> table or null
+  // Publication mirror of slots_ for the lock-free peek(): written with
+  // release after a table is fully built, cleared before its slot is
+  // freed. (The vector itself is sized once at construction; moving the
+  // cache moves the buffer, never the atomics.)
+  std::vector<std::atomic<const EcmpTable*>> published_;
   std::vector<std::uint64_t> last_use_;            // [slice] -> LRU tick
   std::uint64_t tick_ = 0;
   Stats stats_;

@@ -1,6 +1,9 @@
 #include "transport/flow.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "sim/sharded.h"
 
 namespace opera::transport {
 
@@ -18,17 +21,74 @@ const Flow* FlowTracker::find(std::uint64_t id) const {
 }
 
 void FlowTracker::on_delivered(std::uint64_t id, std::int64_t bytes, sim::Time at) {
-  if (delivery_hook_) {
-    const Flow* flow = find(id);
-    if (flow != nullptr) delivery_hook_(*flow, bytes, at);
+  if (!delivery_hook_) return;
+  if (!lanes_.empty()) {
+    // Stage into the executing shard's lane; coordinator-phase records
+    // (sim::current_shard() == -1) use lane 0 — they are already globally
+    // ordered, and the canonical merge re-sorts anyway.
+    const int lane = std::max(0, sim::current_shard());
+    lanes_[static_cast<std::size_t>(lane)].deliveries.push_back(
+        StagedDelivery{id, bytes, at});
+    return;
   }
+  const Flow* flow = find(id);
+  if (flow != nullptr) delivery_hook_(*flow, bytes, at);
 }
 
 void FlowTracker::on_complete(std::uint64_t id, sim::Time end) {
   const Flow* flow = find(id);
   assert(flow != nullptr && "completion for unknown flow");
+  if (!lanes_.empty()) {
+    const int lane = std::max(0, sim::current_shard());
+    lanes_[static_cast<std::size_t>(lane)].completions.push_back(
+        FlowRecord{*flow, end});
+    return;
+  }
   completions_.push_back(FlowRecord{*flow, end});
   if (hook_) hook_(completions_.back());
+}
+
+void FlowTracker::set_lanes(int n) {
+  assert(completions_.empty() && "enable lanes before the run");
+  lanes_.assign(static_cast<std::size_t>(n < 0 ? 0 : n), Lane{});
+}
+
+void FlowTracker::flush_lanes() {
+  if (lanes_.empty()) return;
+
+  merge_completions_.clear();
+  merge_deliveries_.clear();
+  for (Lane& lane : lanes_) {
+    merge_completions_.insert(merge_completions_.end(),
+                              std::make_move_iterator(lane.completions.begin()),
+                              std::make_move_iterator(lane.completions.end()));
+    lane.completions.clear();
+    merge_deliveries_.insert(merge_deliveries_.end(), lane.deliveries.begin(),
+                             lane.deliveries.end());
+    lane.deliveries.clear();
+  }
+  if (!merge_completions_.empty()) {
+    std::stable_sort(merge_completions_.begin(), merge_completions_.end(),
+                     [](const FlowRecord& a, const FlowRecord& b) {
+                       if (a.end != b.end) return a.end < b.end;
+                       return a.flow.id < b.flow.id;
+                     });
+    for (FlowRecord& rec : merge_completions_) {
+      completions_.push_back(std::move(rec));
+      if (hook_) hook_(completions_.back());
+    }
+  }
+  if (!merge_deliveries_.empty()) {
+    std::stable_sort(merge_deliveries_.begin(), merge_deliveries_.end(),
+                     [](const StagedDelivery& a, const StagedDelivery& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       return a.id < b.id;
+                     });
+    for (const StagedDelivery& d : merge_deliveries_) {
+      const Flow* flow = find(d.id);
+      if (flow != nullptr) delivery_hook_(*flow, d.bytes, d.at);
+    }
+  }
 }
 
 sim::PercentileSampler FlowTracker::fct_us(std::int64_t lo_bytes,

@@ -44,6 +44,15 @@ struct FlowRecord {
 
 // Registry of flows plus completion records; experiment harnesses query it
 // for FCT percentiles by flow-size bucket (the paper's Figures 7 and 9).
+//
+// Sharded execution: completions and deliveries happen concurrently on
+// shard worker threads, so with lanes enabled (set_lanes) each record is
+// staged into the calling shard's private lane and merged by flush_lanes()
+// — called at every epoch barrier — in canonical (time, flow id) order.
+// The merged stream is identical for any shard count: a record's time and
+// flow are partition-independent, and records of one flow always land in
+// one lane (its destination host's), so the stable sort preserves their
+// per-flow order. Hooks fire during the merge, on the barrier thread.
 class FlowTracker {
  public:
   // Called on completion (after the record is stored).
@@ -70,12 +79,33 @@ class FlowTracker {
 
   [[nodiscard]] std::uint64_t next_flow_id() { return next_id_++; }
 
+  // Enables per-shard staging with `n` lanes (0 disables — the direct,
+  // single-threaded path). Call before the run starts.
+  void set_lanes(int n);
+  // Merges every lane's staged records into the completion/delivery
+  // streams in (time, flow id) order and fires the hooks. Must be called
+  // from a barrier (no shard phase in flight).
+  void flush_lanes();
+
  private:
+  struct StagedDelivery {
+    std::uint64_t id;
+    std::int64_t bytes;
+    sim::Time at;
+  };
+  struct Lane {
+    std::vector<FlowRecord> completions;
+    std::vector<StagedDelivery> deliveries;
+  };
+
   std::unordered_map<std::uint64_t, Flow> flows_;
   std::vector<FlowRecord> completions_;
   CompletionHook hook_;
   DeliveryHook delivery_hook_;
   std::uint64_t next_id_ = 1;
+  std::vector<Lane> lanes_;
+  std::vector<FlowRecord> merge_completions_;    // flush scratch
+  std::vector<StagedDelivery> merge_deliveries_;
 };
 
 }  // namespace opera::transport

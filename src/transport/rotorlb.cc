@@ -6,10 +6,9 @@
 namespace opera::transport {
 
 RotorLbAgent::RotorLbAgent(net::Host& host, FlowTracker& tracker, std::int32_t num_racks)
-    : host_(host),
-      tracker_(tracker),
-      voq_(static_cast<std::size_t>(num_racks)),
-      voq_bytes_(static_cast<std::size_t>(num_racks), 0) {}
+    : host_(host), tracker_(tracker) {
+  (void)num_racks;  // VOQ slots materialize on first touch
+}
 
 std::int64_t RotorLbAgent::segment_wire_bytes(const Segment& seg) const {
   const Flow* flow = tracker_.find(seg.flow_id);
@@ -28,10 +27,8 @@ void RotorLbAgent::add_flow(const Flow& flow) {
   assert(flow.tclass == net::TrafficClass::kBulk);
   Segment seg{flow.id, 0, flow.total_packets()};
   const std::int64_t bytes = segment_wire_bytes(seg);
-  const auto rack = static_cast<std::size_t>(flow.dst_rack);
-  voq_[rack].push_back(seg);
-  voq_bytes_[rack] += bytes;
-  total_bytes_ += bytes;
+  voq_.queue(flow.dst_rack).push_back(seg);
+  voq_.add_bytes(flow.dst_rack, bytes);
 }
 
 std::int64_t RotorLbAgent::emit(const Flow& flow, Segment& seg, std::int32_t relay_rack) {
@@ -57,7 +54,9 @@ std::int64_t RotorLbAgent::emit(const Flow& flow, Segment& seg, std::int32_t rel
 
 std::int64_t RotorLbAgent::drain_voq(std::int32_t rack, std::int64_t budget_bytes,
                                      std::int32_t relay_rack) {
-  auto& q = voq_[static_cast<std::size_t>(rack)];
+  auto* s = voq_.find(rack);
+  if (s == nullptr) return 0;
+  auto& q = s->queue;
   std::int64_t sent = 0;
   while (!q.empty() && sent < budget_bytes) {
     Segment& seg = q.front();
@@ -68,8 +67,7 @@ std::int64_t RotorLbAgent::drain_voq(std::int32_t rack, std::int64_t budget_byte
     }
     if (seg.next_seq == seg.end_seq) (void)q.pop_front();
   }
-  voq_bytes_[static_cast<std::size_t>(rack)] -= sent;
-  total_bytes_ -= sent;
+  voq_.add_bytes(rack, -sent);
   return sent;
 }
 
@@ -84,16 +82,21 @@ std::int64_t RotorLbAgent::grant_vlb(std::int32_t relay_rack, std::int64_t budge
   std::int64_t sent = 0;
   while (sent < budget_bytes) {
     // Longest VOQ first (skewed demand is exactly when VLB helps), among
-    // destinations whose receivers still accept bytes this slice.
+    // destinations whose receivers still accept bytes this slice. The
+    // active-list scan visits only materialized slots; ties go to the
+    // lowest rack id, reproducing the dense array's left-to-right
+    // strict-max scan exactly.
     std::int32_t best = -1;
     std::int64_t best_bytes = 0;
-    for (std::size_t r = 0; r < voq_.size(); ++r) {
-      if (static_cast<std::int32_t>(r) == relay_rack) continue;
+    for (const auto& s : voq_) {
+      const auto r = static_cast<std::size_t>(s.rack);
+      if (s.rack == relay_rack) continue;
       if (dst_budget[r] <= 0) continue;
       if (allowed_dst != nullptr && !(*allowed_dst)[r]) continue;
-      if (voq_bytes_[r] > best_bytes) {
-        best_bytes = voq_bytes_[r];
-        best = static_cast<std::int32_t>(r);
+      if (s.bytes > best_bytes ||
+          (s.bytes == best_bytes && best >= 0 && s.rack < best)) {
+        best_bytes = s.bytes;
+        best = s.rack;
       }
     }
     if (best < 0) break;
@@ -112,10 +115,8 @@ void RotorLbAgent::handle_nack(std::uint64_t flow_id, std::uint64_t seq) {
   if (flow == nullptr) return;
   Segment seg{flow_id, seq, seq + 1};
   const std::int64_t bytes = flow->wire_bytes(seq);
-  const auto rack = static_cast<std::size_t>(flow->dst_rack);
-  voq_[rack].push_front(seg);
-  voq_bytes_[rack] += bytes;
-  total_bytes_ += bytes;
+  voq_.queue(flow->dst_rack).push_front(seg);
+  voq_.add_bytes(flow->dst_rack, bytes);
 }
 
 RotorLbSink::RotorLbSink(net::Host& host, const Flow& flow, FlowTracker& tracker)
@@ -174,23 +175,23 @@ void RotorLbSink::on_stall_check() {
 void RotorRelayBuffer::store(net::PacketPtr pkt) {
   pkt->vlb_relay = false;
   pkt->relay_rack = -1;
-  const auto rack = static_cast<std::size_t>(pkt->dst_rack);
-  voq_bytes_[rack] += pkt->size_bytes;
-  total_bytes_ += pkt->size_bytes;
-  voq_[rack].push_back(std::move(pkt));
+  const std::int32_t rack = pkt->dst_rack;
+  voq_.add_bytes(rack, pkt->size_bytes);
+  voq_.queue(rack).push_back(std::move(pkt));
 }
 
 std::vector<net::PacketPtr> RotorRelayBuffer::take(std::int32_t rack,
                                                    std::int64_t budget_bytes) {
-  auto& q = voq_[static_cast<std::size_t>(rack)];
   std::vector<net::PacketPtr> out;
+  auto* s = voq_.find(rack);
+  if (s == nullptr) return out;
+  auto& q = s->queue;
   std::int64_t taken = 0;
   while (!q.empty() && taken + q.front()->size_bytes <= budget_bytes) {
     taken += q.front()->size_bytes;
     out.push_back(q.pop_front());
   }
-  voq_bytes_[static_cast<std::size_t>(rack)] -= taken;
-  total_bytes_ -= taken;
+  voq_.add_bytes(rack, -taken);
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include "net/queue.h"
 #include "sim/ring.h"
 #include "transport/flow.h"
+#include "transport/sparse_voq.h"
 
 namespace opera::transport {
 
@@ -32,6 +33,8 @@ namespace opera::transport {
 // memory.
 class RotorLbAgent {
  public:
+  // `num_racks` is advisory (VOQ slots materialize on first touch; see
+  // transport/sparse_voq.h) and kept for interface stability.
   RotorLbAgent(net::Host& host, FlowTracker& tracker, std::int32_t num_racks);
 
   // Queues a registered bulk flow for transmission.
@@ -58,9 +61,11 @@ class RotorLbAgent {
   void handle_nack(std::uint64_t flow_id, std::uint64_t seq);
 
   [[nodiscard]] std::int64_t queued_bytes(std::int32_t rack) const {
-    return voq_bytes_[static_cast<std::size_t>(rack)];
+    return voq_.bytes(rack);
   }
-  [[nodiscard]] std::int64_t total_queued() const { return total_bytes_; }
+  [[nodiscard]] std::int64_t total_queued() const { return voq_.total_bytes(); }
+  // Structural VOQ memory (the k=32 probe, like EcmpTable's).
+  [[nodiscard]] std::size_t memory_bytes() const { return voq_.memory_bytes(); }
   [[nodiscard]] net::Host& host() { return host_; }
 
  private:
@@ -78,9 +83,7 @@ class RotorLbAgent {
 
   net::Host& host_;
   FlowTracker& tracker_;
-  std::vector<sim::Ring<Segment>> voq_;
-  std::vector<std::int64_t> voq_bytes_;
-  std::int64_t total_bytes_ = 0;
+  SparseVoq<sim::Ring<Segment>> voq_;
 };
 
 // Receiver endpoint for a bulk flow: counts distinct packets, reports
@@ -122,9 +125,10 @@ class RotorLbSink {
 // circuit to its final destination.
 class RotorRelayBuffer {
  public:
-  explicit RotorRelayBuffer(std::int32_t num_racks)
-      : voq_(static_cast<std::size_t>(num_racks)),
-        voq_bytes_(static_cast<std::size_t>(num_racks), 0) {}
+  // `num_racks` is advisory: relay VOQs materialize on first touch, which
+  // is what takes the per-ToR relay state from O(racks) — O(racks²)
+  // across all ToRs, the k=32 blocker — to O(active destinations).
+  explicit RotorRelayBuffer(std::int32_t num_racks) { (void)num_racks; }
 
   // Stores a relayed packet (clears its relay marking).
   void store(net::PacketPtr pkt);
@@ -134,14 +138,13 @@ class RotorRelayBuffer {
                                                  std::int64_t budget_bytes);
 
   [[nodiscard]] std::int64_t queued_bytes(std::int32_t rack) const {
-    return voq_bytes_[static_cast<std::size_t>(rack)];
+    return voq_.bytes(rack);
   }
-  [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::int64_t total_bytes() const { return voq_.total_bytes(); }
+  [[nodiscard]] std::size_t memory_bytes() const { return voq_.memory_bytes(); }
 
  private:
-  std::vector<net::PacketRing> voq_;
-  std::vector<std::int64_t> voq_bytes_;
-  std::int64_t total_bytes_ = 0;
+  SparseVoq<net::PacketRing> voq_;
 };
 
 }  // namespace opera::transport

@@ -1,0 +1,122 @@
+// SparseVoq<Q> — lazily allocated per-destination-rack virtual-output-
+// queue store.
+//
+// The dense layout (a vector of one queue per rack, held by every host
+// agent and every ToR relay buffer) costs O(racks) per endpoint and
+// O(racks²) across the ToR relays — the ROADMAP-named memory blocker for
+// k=32 (768 racks → 590k relay rings before a single packet flows). In
+// practice an endpoint only ever queues toward the racks it actually
+// talks to, so this container materializes a slot on first touch:
+//
+//   * an open-addressing hash table maps rack id → slot index (empty
+//     probes are one load, so the bytes(rack)==0 fast path stays cheap);
+//   * slots live in a dense vector in first-touch order — the owner's
+//     deterministic event order — which doubles as the active list for
+//     drain scans: longest-VOQ-first selection iterates live slots only,
+//     with ties broken by lowest rack id, exactly reproducing the dense
+//     array's left-to-right strict-max scan;
+//   * drained slots keep their (empty) queue: communication peers recur,
+//     and retained ring capacity is what keeps steady-state refills
+//     allocation-free (see sim/ring.h).
+//
+// memory_bytes() reports the structural footprint (like EcmpTable's
+// probe) so the scale benches can put a number on the k=32 story.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace opera::transport {
+
+template <typename Q>
+class SparseVoq {
+ public:
+  struct Slot {
+    std::int32_t rack = -1;
+    std::int64_t bytes = 0;
+    Q queue;
+  };
+
+  // The queue toward `rack`, materializing its slot on first use.
+  [[nodiscard]] Q& queue(std::int32_t rack) { return slot(rack).queue; }
+
+  [[nodiscard]] Slot* find(std::int32_t rack) {
+    if (table_.empty()) return nullptr;
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = hash(rack) & mask;; i = (i + 1) & mask) {
+      const std::uint32_t e = table_[i];
+      if (e == 0) return nullptr;
+      Slot& s = slots_[e - 1];
+      if (s.rack == rack) return &s;
+    }
+  }
+  [[nodiscard]] const Slot* find(std::int32_t rack) const {
+    return const_cast<SparseVoq*>(this)->find(rack);
+  }
+
+  [[nodiscard]] std::int64_t bytes(std::int32_t rack) const {
+    const Slot* s = find(rack);
+    return s == nullptr ? 0 : s->bytes;
+  }
+  [[nodiscard]] std::int64_t total_bytes() const { return total_; }
+
+  void add_bytes(std::int32_t rack, std::int64_t delta) {
+    slot(rack).bytes += delta;
+    total_ += delta;
+  }
+
+  // Active slots in first-touch order.
+  [[nodiscard]] auto begin() { return slots_.begin(); }
+  [[nodiscard]] auto end() { return slots_.end(); }
+  [[nodiscard]] auto begin() const { return slots_.begin(); }
+  [[nodiscard]] auto end() const { return slots_.end(); }
+  [[nodiscard]] std::size_t active_slots() const { return slots_.size(); }
+
+  // Structural memory: slot storage, hash table, and per-queue ring
+  // capacity (element storage; queued payloads are accounted elsewhere).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = slots_.capacity() * sizeof(Slot) +
+                        table_.capacity() * sizeof(std::uint32_t);
+    for (const Slot& s : slots_) bytes += s.queue.memory_bytes();
+    return bytes;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t hash(std::int32_t rack) {
+    // Fibonacci scramble: rack ids are small dense ints.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rack)) *
+         0x9E3779B97F4A7C15ULL) >>
+        32);
+  }
+
+  Slot& slot(std::int32_t rack) {
+    if (Slot* s = find(rack)) return *s;
+    if ((slots_.size() + 1) * 2 > table_.size()) rehash();
+    slots_.push_back(Slot{rack, 0, Q{}});
+    insert_index(rack, static_cast<std::uint32_t>(slots_.size()));
+    return slots_.back();
+  }
+
+  void insert_index(std::int32_t rack, std::uint32_t value) {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(rack) & mask;
+    while (table_[i] != 0) i = (i + 1) & mask;
+    table_[i] = value;
+  }
+
+  void rehash() {
+    std::size_t n = table_.empty() ? 16 : table_.size() * 2;
+    table_.assign(n, 0);
+    for (std::size_t k = 0; k < slots_.size(); ++k) {
+      insert_index(slots_[k].rack, static_cast<std::uint32_t>(k + 1));
+    }
+  }
+
+  std::vector<Slot> slots_;           // active list, first-touch order
+  std::vector<std::uint32_t> table_;  // open addressing: slot index + 1; 0 = empty
+  std::int64_t total_ = 0;
+};
+
+}  // namespace opera::transport

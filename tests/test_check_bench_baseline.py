@@ -12,7 +12,8 @@ import unittest
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
 from check_bench_baseline import compare_to_baseline  # noqa: E402
-from record_bench_baseline import parse_csv_tables, parse_timings  # noqa: E402
+from record_bench_baseline import (  # noqa: E402
+    parse_csv_tables, parse_csv_threads, parse_timings)
 
 
 def base_entry(wall_s=1.0, table_rows=None):
@@ -112,6 +113,42 @@ class CompareToBaselineTest(unittest.TestCase):
         self.assertEqual(failures, [])
         self.assertEqual(report, [])
 
+    def test_threads_mismatch_warns_but_never_fails(self):
+        # Wall baselines are only comparable at equal shard counts; a
+        # changed --threads warns (re-anchor the baseline) and SKIPs the
+        # wall gate — even a wall far outside the budget must not fail,
+        # and old baselines without a threads key default to 1.
+        baseline = {"bench_a": base_entry(1.0, {"fct": 5})}
+        timings = {"bench_a": {"wall_s": 9.0, "status": "ok"}}  # 9x the baseline
+        csv_tables = {"bench_a": {"fct": 5}}
+        failures, warnings, report = compare_to_baseline(
+            baseline, timings, csv_tables, 1.25, 0.5,
+            csv_threads={"bench_a": 4})
+        self.assertEqual(failures, [])
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("threads=4", warnings[0])
+        self.assertIn("threads=1", warnings[0])
+        self.assertTrue(any("t=4" in r and "SKIP" in r for r in report))
+
+    def test_threads_column_absent_on_old_csvs_is_clean(self):
+        # Old CSVs (no `# threads=` note) → no csv_threads entry → treated
+        # as 1, matching old baselines: no warning, no drift.
+        baseline = {"bench_a": base_entry(1.0, {"fct": 5})}
+        timings = {"bench_a": {"wall_s": 1.0, "status": "ok"}}
+        failures, warnings, _ = compare_to_baseline(
+            baseline, timings, {"bench_a": {"fct": 5}}, 1.25, 0.5)
+        self.assertEqual(failures, [])
+        self.assertEqual(warnings, [])
+
+    def test_matching_recorded_threads_is_clean(self):
+        baseline = {"bench_a": dict(base_entry(1.0, {"fct": 5}), threads=2)}
+        timings = {"bench_a": {"wall_s": 1.0, "status": "ok"}}
+        failures, warnings, _ = compare_to_baseline(
+            baseline, timings, {"bench_a": {"fct": 5}}, 1.25, 0.5,
+            csv_threads={"bench_a": 2})
+        self.assertEqual(failures, [])
+        self.assertEqual(warnings, [])
+
     def test_text_only_bench_is_wall_gated_only(self):
         # bench_micro_core records no table fingerprint: absent CSV is fine.
         baseline = {"bench_micro_core": base_entry(3.0, {})}
@@ -131,6 +168,22 @@ class ParserTest(unittest.TestCase):
                          "run,poisson,5\n"
                          "\n")
             self.assertEqual(parse_csv_tables(p), {"fct": 2, "run": 1})
+
+    def test_parse_csv_threads_reads_metadata_note(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = pathlib.Path(d) / "bench_x.csv"
+            p.write_text("# bench: x\n# threads=4\ntable,fct\nfct,opera,10\n")
+            self.assertEqual(parse_csv_threads(p), 4)
+            # The note is a comment: it must not count as a table row.
+            self.assertEqual(parse_csv_tables(p), {"fct": 1})
+            q = pathlib.Path(d) / "bench_old.csv"
+            q.write_text("table,fct\nfct,opera,10\n")
+            self.assertIsNone(parse_csv_threads(q))
+            # Mixed sweeps (resolved count changed mid-artifact) emit one
+            # note per change and summarize as the maximum.
+            r = pathlib.Path(d) / "bench_mixed.csv"
+            r.write_text("# threads=2\nfct,a,1\n# threads=4\n# threads=1\n")
+            self.assertEqual(parse_csv_threads(r), 4)
 
     def test_parse_timings_reads_run_all_benches_format(self):
         with tempfile.TemporaryDirectory() as d:

@@ -22,7 +22,7 @@ class RecorderNode : public Node {
  public:
   RecorderNode(sim::Simulator& sim) : Node(sim, "recorder") {}
   void receive(PacketPtr pkt, int in_port) override {
-    arrivals.emplace_back(sim_.now(), std::move(pkt));
+    arrivals.emplace_back(sim().now(), std::move(pkt));
     in_ports.push_back(in_port);
   }
   std::vector<std::pair<sim::Time, PacketPtr>> arrivals;
