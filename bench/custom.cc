@@ -12,9 +12,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "exp/experiment.h"
+#include "exp/scenario.h"
 #include "workload/flow_size_dist.h"
 #include "workload/synthetic.h"
 
@@ -54,6 +56,10 @@ int usage() {
       "  --hosts-per-rack=D                      (default 6; Opera u = D)\n"
       "  --workload=poisson|permutation|shuffle|incast|storage|ml\n"
       "                                          (default poisson)\n"
+      "  --scenario=SPEC[;SPEC...]  declarative scenarios (docs/SCENARIOS.md):\n"
+      "                    ditl / trace / adversarial-perm replace --workload;\n"
+      "                    storm-rolling / storm-racks / gray / skew arm\n"
+      "                    failure events (opera only, any number)\n"
       "  --load=F          poisson offered load  (default 0.10)\n"
       "  --dist=datamining|websearch|hadoop      (default datamining)\n"
       "  --flow-kb=K       fixed-size-flow workloads' flow/object/chunk\n"
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
   const double horizon_ms = arg_double(argc, argv, "--horizon-ms", 50.0);
   const auto seed = static_cast<std::uint64_t>(arg_long(argc, argv, "--seed", 1));
   const bool construct_only = exp::CliOptions::has_flag(argc, argv, "--construct-only");
+  const std::string scenario_str = arg_string(argc, argv, "--scenario", "");
 
   exp::Experiment ex("custom fabric sweep", argc, argv);
 
@@ -101,6 +108,22 @@ int main(int argc, char** argv) {
   config.slice_table_window =
       static_cast<int>(arg_long(argc, argv, "--slice-window", 0));
   config.threads = ex.cli().threads;  // parsed by exp::CliOptions with the other shared flags
+
+  std::vector<exp::ScenarioSpec> scenarios;
+  if (!scenario_str.empty()) {
+    auto parsed = exp::parse_scenarios(scenario_str);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_custom: %s\n", parsed.error.c_str());
+      return usage();
+    }
+    scenarios = std::move(parsed.specs);
+    for (const auto& s : scenarios) {
+      if (const std::string err = exp::validate_scenario(s, config); !err.empty()) {
+        std::fprintf(stderr, "bench_custom: invalid scenario — %s\n", err.c_str());
+        return 2;
+      }
+    }
+  }
 
   const auto build_start = std::chrono::steady_clock::now();
   auto net = core::NetworkFactory::build(config);
@@ -117,9 +140,30 @@ int main(int argc, char** argv) {
                    exp::Value(build_seconds, 3)});
   if (construct_only) return 0;
 
+  // Scenario wiring: a workload scenario replaces --workload; failure
+  // scenarios arm coordinator-phase events before the run starts.
+  std::string run_label = workload_name;
+  const exp::ScenarioSpec* workload_scenario = nullptr;
+  for (const auto& s : scenarios) {
+    ex.report().note("scenario: %s", exp::describe(s).c_str());
+    if (exp::scenario_is_workload(s)) workload_scenario = &s;
+    else if (auto* opera_net = dynamic_cast<core::OperaNetwork*>(net.get())) {
+      exp::arm_scenario(s, *opera_net);
+    }
+  }
+
   sim::Rng rng(seed + 1);
   std::vector<workload::FlowSpec> flows;
-  if (workload_name == "poisson") {
+  if (workload_scenario != nullptr) {
+    run_label = exp::scenario_kind_name(workload_scenario->kind);
+    std::string err;
+    flows = exp::scenario_flows(*workload_scenario, config, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "bench_custom: scenario workload failed — %s\n",
+                   err.c_str());
+      return 2;
+    }
+  } else if (workload_name == "poisson") {
     const auto dist = dist_name == "websearch"  ? workload::FlowSizeDistribution::websearch()
                       : dist_name == "hadoop"   ? workload::FlowSizeDistribution::hadoop()
                                                 : workload::FlowSizeDistribution::datamining();
@@ -162,11 +206,30 @@ int main(int argc, char** argv) {
 
   auto& run_table = ex.report().table(
       "run", {"workload", "flows", "completed", "sim_ms", "wall_s", "events"});
-  run_table.row({workload_name, static_cast<std::int64_t>(flows.size()),
+  run_table.row({run_label, static_cast<std::int64_t>(flows.size()),
                  static_cast<std::int64_t>(net->tracker().completed()),
                  exp::Value(status.ended_at.to_ms(), 3), exp::Value(run_seconds, 3),
                  static_cast<std::int64_t>(net->events_executed())});
   ex.emit_fct_rows(fabric_name, load * 100.0, *net);
+
+  if (!scenarios.empty()) {
+    const auto fct = net->tracker().fct_us(0, std::numeric_limits<std::int64_t>::max());
+    core::OperaNetwork::TorStats tor_stats;
+    if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {
+      tor_stats = opera_net->tor_stats();
+    }
+    auto& scenario_table = ex.report().table(
+        "scenario",
+        {"scenario", "flows", "completed", "p50_us", "p99_us", "wire_drops",
+         "tor_drops"});
+    scenario_table.row(
+        {scenario_str, static_cast<std::int64_t>(flows.size()),
+         static_cast<std::int64_t>(net->tracker().completed()),
+         exp::Value(fct.empty() ? 0.0 : fct.percentile(50), 1),
+         exp::Value(fct.empty() ? 0.0 : fct.percentile(99), 1),
+         static_cast<std::int64_t>(tor_stats.wire_drops),
+         static_cast<std::int64_t>(tor_stats.drops)});
+  }
 
   if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {
     const auto& cache = opera_net->slice_tables();

@@ -18,11 +18,14 @@
 // scale-independent): per-pattern run and slice-cache rows, the standard
 // FCT buckets, the scale-probe row, and a process-wide peak-RSS row.
 #include <chrono>
+#include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/opera_network.h"
 #include "exp/experiment.h"
+#include "exp/scenario.h"
 #include "exp/testbed.h"
 #include "workload/flow_size_dist.h"
 #include "workload/synthetic.h"
@@ -108,6 +111,77 @@ int main(int argc, char** argv) {
                      static_cast<std::int64_t>(st.demand_builds),
                      static_cast<std::int64_t>(st.prefetch_builds),
                      static_cast<std::int64_t>(st.evictions)});
+  }
+
+  // Scenario leg (docs/SCENARIOS.md): the composed day-in-the-life, the
+  // same day over gray (lossy-not-dead) links, and the schedule-
+  // adversarial permutation under a rolling rotor storm. The gray row is
+  // the behavior no static-failure bench shows: routing still uses the
+  // degraded links, so FCT inflates and wire_drops counts the silent loss
+  // — compare its p50/p99 against the clean ditl row. Suites are
+  // scale-independent strings, so quick (16x4) and --full (k=24) emit the
+  // same 3-row fingerprint.
+  {
+    struct ScenarioRun {
+      const char* label;
+      const char* suite;
+      int horizon_ms;  // storms need room for recovery + reconvergence
+    };
+    const std::vector<ScenarioRun> runs = {
+        {"ditl", "ditl:phase-ms=0.5,load=0.1,seed=3", 15},
+        {"ditl_gray",
+         "ditl:phase-ms=0.5,load=0.1,seed=3;"
+         "gray:links=10,loss=0.08,extra-us=50,start-ms=0,recover-ms=0",
+         15},
+        {"adv_perm_storm",
+         "adversarial-perm:flow-kb=300;"
+         "storm-rolling:switches=2,start-ms=1,period-ms=2,recover-ms=5",
+         40},
+    };
+    auto& scenario_table = ex.report().table(
+        "scenarios", {"scenario", "flows", "completed", "sim_ms", "wall_s",
+                      "p50_us", "p99_us", "wire_drops", "tor_drops"});
+    for (const auto& r : runs) {
+      const auto parsed = exp::parse_scenarios(r.suite);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bench_scale_sweep: bad scenario suite '%s': %s\n",
+                     r.suite, parsed.error.c_str());
+        return 1;
+      }
+      std::vector<workload::FlowSpec> flows;
+      for (const auto& spec : parsed.specs) {
+        if (const std::string err = exp::validate_scenario(spec, config);
+            !err.empty()) {
+          std::fprintf(stderr, "bench_scale_sweep: %s\n", err.c_str());
+          return 1;
+        }
+        if (exp::scenario_is_workload(spec)) {
+          flows = exp::scenario_flows(spec, config);
+        }
+      }
+      exp::Experiment::RunOptions opts;
+      opts.horizon = sim::Time::ms(r.horizon_ms);
+      opts.setup = [&parsed](core::Network& net) {
+        auto& opera_net = dynamic_cast<core::OperaNetwork&>(net);
+        for (const auto& spec : parsed.specs) {
+          if (!exp::scenario_is_workload(spec)) exp::arm_scenario(spec, opera_net);
+        }
+      };
+      const auto result = ex.run(r.label, config, flows, opts);
+      const auto fct = result.net->tracker().fct_us(
+          0, std::numeric_limits<std::int64_t>::max());
+      const auto tor_stats =
+          dynamic_cast<const core::OperaNetwork&>(*result.net).tor_stats();
+      scenario_table.row(
+          {r.label, static_cast<std::int64_t>(flows.size()),
+           static_cast<std::int64_t>(result.net->tracker().completed()),
+           exp::Value(result.status.ended_at.to_ms(), 3),
+           exp::Value(result.wall_seconds, 2),
+           exp::Value(fct.empty() ? 0.0 : fct.percentile(50), 1),
+           exp::Value(fct.empty() ? 0.0 : fct.percentile(99), 1),
+           static_cast<std::int64_t>(tor_stats.wire_drops),
+           static_cast<std::int64_t>(tor_stats.drops)});
+    }
   }
 
   // Scale probe: one rung above the sweep scale — construction plus a

@@ -52,7 +52,10 @@ OperaNetwork::OperaNetwork(const OperaConfig& config)
       engine_(resolve_shards(config), config.link.propagation),
       rng_(config.seed),
       failures_(topo::FailureSet::none(config.topology.num_racks,
-                                       config.topology.num_switches)) {
+                                       config.topology.num_switches)),
+      skew_extra_(static_cast<std::size_t>(config.topology.num_switches),
+                  sim::Time::zero()),
+      skew_remaining_(static_cast<std::size_t>(config.topology.num_switches), 0) {
   relay_reach_.assign(static_cast<std::size_t>(config_.topology.num_racks),
                       std::vector<bool>(static_cast<std::size_t>(config_.topology.num_racks),
                                         true));
@@ -202,8 +205,15 @@ void OperaNetwork::on_slice_boundary(std::int64_t abs_slice) {
   }
 
   // The rotor settles on its next matching after the reconfiguration delay
-  // (a global event: it touches ports in every shard).
-  engine_.global().schedule_in(config_.slice.reconfiguration, [this, sw_dn, next_slice] {
+  // (a global event: it touches ports in every shard). A skewed rotor
+  // (inject_slice_skew) settles late, leaving its uplinks dark while the
+  // drain-window rule already routes next-slice traffic into them.
+  sim::Time settle_delay = config_.slice.reconfiguration;
+  if (skew_remaining_[static_cast<std::size_t>(sw_dn)] > 0) {
+    --skew_remaining_[static_cast<std::size_t>(sw_dn)];
+    settle_delay += skew_extra_[static_cast<std::size_t>(sw_dn)];
+  }
+  engine_.global().schedule_in(settle_delay, [this, sw_dn, next_slice] {
     if (failures_.switch_failed[static_cast<std::size_t>(sw_dn)]) return;
     const int d = config_.topology.hosts_per_rack;
     for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
@@ -486,6 +496,64 @@ void OperaNetwork::inject_switch_failure(int rotor_switch) {
   engine_.global().schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
 }
 
+void OperaNetwork::rewire_switch_now(int rotor_switch) {
+  const int d = config_.topology.hosts_per_rack;
+  const auto sw = static_cast<std::size_t>(rotor_switch);
+  if (failures_.switch_failed[sw]) return;
+  // The currently-reconfiguring switch's ports belong to its pending
+  // settle event (which re-checks the failure bits we just cleared).
+  if (rotor_switch == topo_.reconfiguring_switch(current_slice_)) return;
+  for (topo::Vertex r = 0; r < topo_.num_racks(); ++r) {
+    if (failures_.uplink_failed[static_cast<std::size_t>(r)][sw]) continue;
+    const topo::Vertex peer = topo_.circuit_peer(rotor_switch, r, current_slice_);
+    auto& port = tors_[static_cast<std::size_t>(r)]->port(uplink_port(rotor_switch));
+    if (peer == r || failures_.uplink_failed[static_cast<std::size_t>(peer)][sw]) {
+      port.set_enabled(false);
+    } else {
+      port.connect(tors_[static_cast<std::size_t>(peer)].get(), d + rotor_switch);
+      port.set_enabled(true);
+    }
+  }
+}
+
+void OperaNetwork::recover_uplink(std::int32_t rack, int rotor_switch) {
+  failures_.uplink_failed[static_cast<std::size_t>(rack)]
+                         [static_cast<std::size_t>(rotor_switch)] = false;
+  // Both endpoints of any circuit through (rack, rotor_switch) may come
+  // back; re-wiring the whole switch is idempotent for untouched racks.
+  rewire_switch_now(rotor_switch);
+  engine_.global().schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
+}
+
+void OperaNetwork::recover_switch(int rotor_switch) {
+  failures_.switch_failed[static_cast<std::size_t>(rotor_switch)] = false;
+  rewire_switch_now(rotor_switch);
+  engine_.global().schedule_in(config_.cycle_time(), [this] { recompute_after_failure(); });
+}
+
+void OperaNetwork::inject_gray_uplink(std::int32_t rack, int rotor_switch,
+                                      double loss, sim::Time extra_latency) {
+  // Per-port salt: distinct gray links must make independent drop
+  // decisions for the same packet, or a retransmission crossing two gray
+  // hops would be deterministically doomed.
+  const std::uint64_t salt = sim::mix64(
+      0x6F70657261677261ULL ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rack)) << 8) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(rotor_switch)));
+  tor(rack).port(uplink_port(rotor_switch)).set_gray(loss, extra_latency, salt);
+}
+
+void OperaNetwork::clear_gray_uplink(std::int32_t rack, int rotor_switch) {
+  tor(rack).port(uplink_port(rotor_switch)).clear_gray();
+}
+
+void OperaNetwork::inject_slice_skew(int rotor_switch, sim::Time extra, int count) {
+  assert(extra >= sim::Time::zero());
+  assert(extra + config_.slice.reconfiguration < config_.slice.duration);
+  skew_extra_[static_cast<std::size_t>(rotor_switch)] = extra;
+  skew_remaining_[static_cast<std::size_t>(rotor_switch)] = count;
+}
+
 void OperaNetwork::recompute_after_failure() {
   // Only cached entries are touched: drop them all (their content predates
   // the failure), then rebuild the active window in parallel — the full
@@ -533,6 +601,7 @@ OperaNetwork::TorStats OperaNetwork::tor_stats() const {
     for (int p = 0; p < d + u; ++p) {
       stats.trims += tor->port(p).queue().trims();
       stats.drops += tor->port(p).queue().drops();
+      stats.wire_drops += static_cast<std::uint64_t>(tor->port(p).gray_drops());
     }
   }
   return stats;

@@ -94,11 +94,13 @@ class OperaNetwork : public Network {
   [[nodiscard]] int routing_slice(sim::Time now) const;
   [[nodiscard]] int routing_slice() const { return routing_slice(engine_.now()); }
 
-  // Aggregate drop/trim statistics across all ToR uplinks.
+  // Aggregate drop/trim statistics across all ToR uplinks. `wire_drops`
+  // counts packets lost to gray (lossy-not-dead) links.
   struct TorStats {
     std::uint64_t trims = 0;
     std::uint64_t drops = 0;
     std::uint64_t forward_drops = 0;
+    std::uint64_t wire_drops = 0;
   };
   [[nodiscard]] TorStats tor_stats() const;
 
@@ -108,9 +110,37 @@ class OperaNetwork : public Network {
   // guarantees dissemination within at most two cycles — we model the
   // typical one). Until then, packets that would use the failed component
   // are dropped and recovered by the transports.
+  //
+  // All injection/recovery entry points mutate global fabric state and must
+  // run in the coordinator phase — call them from sim() (global) events,
+  // never from shard-local callbacks, or the threads=N contract breaks.
   void inject_uplink_failure(std::int32_t rack, int rotor_switch);
   void inject_switch_failure(int rotor_switch);
   [[nodiscard]] const topo::FailureSet& failures() const { return failures_; }
+
+  // Recovery waves: the component rejoins with the matching it should
+  // currently hold; ToRs fold it back into their tables one cycle later
+  // (the same hello-protocol delay as failure dissemination).
+  void recover_uplink(std::int32_t rack, int rotor_switch);
+  void recover_switch(int rotor_switch);
+
+  // Gray failure: the ToR's uplink transceiver on `rotor_switch` goes
+  // lossy-not-dead — egress packets are dropped with probability `loss`
+  // and survivors see `extra_latency` added one-way. The degradation
+  // follows the port across slice retargets (it models the rack's optics,
+  // not one circuit) and is invisible to routing: tables still use the
+  // link, which is exactly why gray failures hurt (see docs/SCENARIOS.md).
+  void inject_gray_uplink(std::int32_t rack, int rotor_switch, double loss,
+                          sim::Time extra_latency);
+  void clear_gray_uplink(std::int32_t rack, int rotor_switch);
+
+  // Rotor desync: `rotor_switch`'s next `count` reconfigurations settle
+  // `extra` late (on top of OperaConfig::slice.reconfiguration). While
+  // late, next-slice tables already route into the still-dark uplinks —
+  // the low-latency drain-window rule (§4.1) assumes punctual rotors, so
+  // skew converts cleanly into measurable drops + FCT inflation. Requires
+  // 0 <= extra, and extra + reconfiguration < slice duration.
+  void inject_slice_skew(int rotor_switch, sim::Time extra, int count);
 
   // The per-slice low-latency table store (paper §4.3). Eager (all N
   // tables precomputed) or a sliding window around the current slice,
@@ -126,6 +156,10 @@ class OperaNetwork : public Network {
  private:
   void build_nodes();
   void recompute_after_failure();
+  // Re-wires one rotor switch's ports to the matching active *now* (used
+  // by recovery; skips racks whose own uplink is failed / self-matches /
+  // the currently-reconfiguring switch, which its settle event owns).
+  void rewire_switch_now(int rotor_switch);
   void wire_slice(int slice);
   void on_slice_boundary(std::int64_t abs_slice);
   void allocate_bulk(int slice);
@@ -185,6 +219,11 @@ class OperaNetwork : public Network {
 
   int current_slice_ = 0;
   std::int64_t abs_slice_ = 0;
+
+  // Rotor desync state (inject_slice_skew): per-switch extra settle delay
+  // and how many upcoming reconfigurations it still applies to.
+  std::vector<sim::Time> skew_extra_;
+  std::vector<int> skew_remaining_;
 };
 
 }  // namespace opera::core

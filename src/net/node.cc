@@ -20,6 +20,24 @@ void OutPort::set_enabled(bool enabled) {
   if (enabled_) pump();
 }
 
+void OutPort::set_gray(double loss, sim::Time extra_latency, std::uint64_t salt) {
+  assert(loss >= 0.0 && loss <= 1.0);
+  assert(extra_latency >= sim::Time::zero());
+  gray_ = true;
+  // loss * 2^64 as a saturating u64 threshold (loss == 1.0 drops all).
+  gray_threshold_ = loss >= 1.0 ? ~0ULL
+                                : static_cast<std::uint64_t>(
+                                      loss * 18446744073709551616.0);
+  gray_extra_latency_ = extra_latency;
+  gray_salt_ = salt;
+}
+
+void OutPort::clear_gray() {
+  gray_ = false;
+  gray_threshold_ = 0;
+  gray_extra_latency_ = sim::Time::zero();
+}
+
 void OutPort::pump() {
   if (busy_ || !enabled_ || queue_.empty()) return;
   PacketPtr pkt = queue_.dequeue();
@@ -30,7 +48,33 @@ void OutPort::pump() {
   // mid-flight must not redirect bits already on the fiber.
   Node* peer = peer_;
   const int in_port = peer_in_port_;
-  const sim::Time arrival_delay = serialization + latency_;
+  sim::Time arrival_delay = serialization + latency_;
+  if (gray_) {
+    // Hash of (packet identity, per-port salt, per-port transmission
+    // count). The counter makes each transmission attempt a fresh coin —
+    // real CRC loss is per-transmission, so a retransmitted packet must
+    // not be deterministically doomed on the same port — and it is safe
+    // for the threads=N contract: a port serializes packets in an order
+    // that is itself part of the bit-identical simulation state (same
+    // idiom as routing's ecmp_pick, never a shared rng draw).
+    const std::uint64_t attempt =
+        static_cast<std::uint64_t>(gray_tested_++) * 0x9E3779B97F4A7C15ULL;
+    const std::uint64_t h = sim::mix64(
+        pkt->flow_id ^ (pkt->seq * 0x9E3779B97F4A7C15ULL) ^
+        (static_cast<std::uint64_t>(pkt->type) << 56) ^ gray_salt_ ^
+        sim::mix64(attempt));
+    if (h < gray_threshold_) {
+      // Corrupted on the wire: the serializer stays occupied for the full
+      // transmission, but no arrival is posted.
+      ++gray_drops_;
+      ctx_.schedule_in(serialization, [this] {
+        busy_ = false;
+        pump();
+      });
+      return;
+    }
+    arrival_delay += gray_extra_latency_;
+  }
   // The arrival is posted into the *peer's* domain — a mailbox hop when
   // the peer lives on another shard; `latency_` is what bounds the
   // sharded engine's lookahead. The callback owns the packet (SmallCallback

@@ -51,6 +51,26 @@ class OutPort {
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  // Gray degradation (lossy-not-dead link): every serialized packet is
+  // dropped on the wire with probability `loss` and otherwise delayed by
+  // `extra_latency` on top of the propagation delay. The drop decision is
+  // a pure hash of packet identity (flow, seq, type), `salt`, and the
+  // port's transmission count — not a shared rng draw — so it is
+  // independent of cross-port event interleaving and the sharded engine's
+  // threads=N bit-identical contract holds, while each transmission
+  // attempt still gets a fresh coin (retransmissions are not doomed to
+  // repeat the verdict, matching real per-transmission CRC loss). The packet
+  // still occupies the serializer (the bits were transmitted; they arrive
+  // corrupted), so gray loss wastes link capacity exactly like real CRC
+  // drops. `extra_latency` must be >= 0 (never shortens the wire, keeping
+  // the sharded engine's lookahead bound safe).
+  void set_gray(double loss, sim::Time extra_latency, std::uint64_t salt);
+  void clear_gray();
+  [[nodiscard]] bool gray() const { return gray_; }
+  // Wire drops due to gray loss / packets subjected to the gray coin.
+  [[nodiscard]] std::int64_t gray_drops() const { return gray_drops_; }
+  [[nodiscard]] std::int64_t gray_tested() const { return gray_tested_; }
+
   [[nodiscard]] PortQueue& queue() { return queue_; }
   [[nodiscard]] const PortQueue& queue() const { return queue_; }
   [[nodiscard]] Node* peer() const { return peer_; }
@@ -73,6 +93,12 @@ class OutPort {
   int peer_in_port_ = -1;
   bool busy_ = false;
   bool enabled_ = true;
+  bool gray_ = false;
+  std::uint64_t gray_threshold_ = 0;  // loss * 2^64, compared against a hash
+  std::uint64_t gray_salt_ = 0;
+  sim::Time gray_extra_latency_;
+  std::int64_t gray_drops_ = 0;
+  std::int64_t gray_tested_ = 0;
 };
 
 class Node {

@@ -1,0 +1,174 @@
+#include "workload/day_in_the_life.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opera::workload {
+
+namespace {
+
+// Poisson phase with a linear load envelope, realized by thinning: draw
+// arrivals at the envelope's max rate, accept each at probability
+// lambda(t)/lambda_max. Exact for linear envelopes and keeps the draw
+// sequence deterministic for a given rng state.
+std::vector<FlowSpec> poisson_phase(const FlowSizeDistribution& dist,
+                                    std::int32_t num_hosts,
+                                    const DayPhaseSpec& phase,
+                                    sim::Time phase_start, double link_rate_bps,
+                                    sim::Rng& rng) {
+  std::vector<FlowSpec> flows;
+  const double lo = phase.load_begin;
+  const double hi = phase.end_load();
+  const double peak = std::max(lo, hi);
+  if (peak <= 0.0 || phase.duration <= sim::Time::zero()) return flows;
+  const double lambda_max =
+      peak * num_hosts * link_rate_bps / (8.0 * dist.mean_bytes());
+  const double duration_s =
+      static_cast<double>(phase.duration.picoseconds()) * 1e-12;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / lambda_max);
+    if (t >= duration_s) break;
+    const double load_t = lo + (hi - lo) * (t / duration_s);
+    if (!rng.bernoulli(load_t / peak)) continue;
+    FlowSpec f;
+    f.src_host = static_cast<std::int32_t>(rng.index(num_hosts));
+    f.dst_host = static_cast<std::int32_t>(rng.index(num_hosts - 1));
+    if (f.dst_host >= f.src_host) ++f.dst_host;
+    f.size_bytes = dist.sample(rng);
+    f.start = phase_start + sim::Time::ps(static_cast<std::int64_t>(t * 1e12));
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+void offset_and_append(std::vector<FlowSpec>&& phase_flows, sim::Time phase_start,
+                       std::vector<FlowSpec>& out) {
+  for (auto& f : phase_flows) {
+    f.start = f.start + phase_start;
+    out.push_back(f);
+  }
+}
+
+}  // namespace
+
+const char* day_phase_name(DayPhaseKind kind) {
+  switch (kind) {
+    case DayPhaseKind::kDatamining: return "datamining";
+    case DayPhaseKind::kWebsearch: return "websearch";
+    case DayPhaseKind::kIncast: return "incast";
+    case DayPhaseKind::kStorage: return "storage";
+    case DayPhaseKind::kMlCollective: return "ml";
+  }
+  return "?";
+}
+
+sim::Time DayInTheLifeSpec::total_duration() const {
+  sim::Time total = sim::Time::zero();
+  for (const auto& p : phases) total = total + p.duration;
+  return total;
+}
+
+DayInTheLifeSpec DayInTheLifeSpec::standard_day(sim::Time phase_duration,
+                                                double peak_load,
+                                                std::uint64_t seed) {
+  DayInTheLifeSpec spec;
+  spec.seed = seed;
+  spec.phases = {
+      {DayPhaseKind::kDatamining, phase_duration, peak_load / 4.0, peak_load},
+      {DayPhaseKind::kWebsearch, phase_duration, peak_load, -1.0},
+      {DayPhaseKind::kIncast, phase_duration, peak_load / 2.0, -1.0},
+      {DayPhaseKind::kStorage, phase_duration, peak_load / 2.0, -1.0},
+      {DayPhaseKind::kMlCollective, phase_duration, peak_load, -1.0},
+  };
+  return spec;
+}
+
+std::vector<FlowSpec> day_in_the_life_workload(const DayInTheLifeSpec& spec,
+                                               std::int32_t num_hosts,
+                                               std::int32_t hosts_per_rack,
+                                               double link_rate_bps) {
+  sim::Rng rng(spec.seed);
+  const FlowSizeDistribution datamining = FlowSizeDistribution::datamining();
+  const FlowSizeDistribution websearch = FlowSizeDistribution::websearch();
+  std::vector<FlowSpec> flows;
+  sim::Time phase_start = sim::Time::zero();
+  for (const auto& phase : spec.phases) {
+    const double load = phase.mean_load();
+    const double duration_ms =
+        static_cast<double>(phase.duration.picoseconds()) * 1e-9;
+    switch (phase.kind) {
+      case DayPhaseKind::kDatamining: {
+        auto pf = poisson_phase(datamining, num_hosts, phase, phase_start,
+                                link_rate_bps, rng);
+        flows.insert(flows.end(), pf.begin(), pf.end());
+        break;
+      }
+      case DayPhaseKind::kWebsearch: {
+        auto pf = poisson_phase(websearch, num_hosts, phase, phase_start,
+                                link_rate_bps, rng);
+        flows.insert(flows.end(), pf.begin(), pf.end());
+        break;
+      }
+      case DayPhaseKind::kIncast: {
+        // Query rate scales with load: 8 partition-aggregate queries per ms
+        // at load 1.0, spread evenly across the phase.
+        IncastParams params;
+        params.events = std::max<std::int32_t>(
+            1, static_cast<std::int32_t>(std::llround(load * 8.0 * duration_ms)));
+        params.fanin = 24;
+        params.flow_bytes = 64'000;
+        params.spacing = sim::Time::ps(phase.duration.picoseconds() / params.events);
+        offset_and_append(
+            incast_workload(num_hosts, hosts_per_rack, params, rng),
+            phase_start, flows);
+        break;
+      }
+      case DayPhaseKind::kStorage: {
+        // Replicated-write rate scales with load: 16 writes per ms at load
+        // 1.0 (2 MB objects, 3 replicas — a backup window, not steady state).
+        StorageReplicationParams params;
+        params.writes = std::max<std::int32_t>(
+            1, static_cast<std::int32_t>(std::llround(load * 16.0 * duration_ms)));
+        params.replicas = 3;
+        params.object_bytes = 2'000'000;
+        params.spacing = sim::Time::ps(phase.duration.picoseconds() / params.writes);
+        params.chain_delay = sim::Time::us(40);
+        offset_and_append(
+            storage_replication_workload(num_hosts, hosts_per_rack, params, rng),
+            phase_start, flows);
+        break;
+      }
+      case DayPhaseKind::kMlCollective: {
+        // One training job spanning the phase: rings of 8 hosts run their
+        // 2*(g-1) all-reduce steps paced to fill the phase; the per-member
+        // buffer scales with load so the phase's offered bytes track it.
+        // The job occupies a slice of the cluster (128 hosts), like the
+        // scale-sweep bench: rings never need the whole fabric, and an
+        // uncapped job at k=24 would swamp the day with collective flows.
+        const std::int32_t job_hosts = std::min<std::int32_t>(num_hosts, 128);
+        MlCollectiveParams params;
+        params.group_size = 8;
+        params.model_bytes = std::max<std::int64_t>(
+            1'000'000, static_cast<std::int64_t>(load * 16'000'000.0));
+        const std::int32_t steps = 2 * (params.group_size - 1);
+        params.step_interval = sim::Time::ps(phase.duration.picoseconds() / steps);
+        params.shuffle_placement = true;
+        offset_and_append(
+            ml_collective_workload(job_hosts, hosts_per_rack, params, rng),
+            phase_start, flows);
+        break;
+      }
+    }
+    phase_start = phase_start + phase.duration;
+  }
+  // One time-sorted schedule (generators emit per-event order; stable sort
+  // keeps draw order within equal timestamps deterministic).
+  std::stable_sort(flows.begin(), flows.end(),
+                   [](const FlowSpec& a, const FlowSpec& b) {
+                     return a.start < b.start;
+                   });
+  return flows;
+}
+
+}  // namespace opera::workload

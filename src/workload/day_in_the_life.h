@@ -1,0 +1,70 @@
+// Day-in-the-life workload composer: stitches the repo's synthetic
+// generators (datamining/websearch poisson, incast, storage replication,
+// ML ring all-reduce) into one time-varying schedule — the "composed
+// day" the ROADMAP's scenario-diversity item asks for. Each phase carries
+// a load envelope (flat or linearly ramping fraction of aggregate host
+// bandwidth); poisson phases realize the ramp by thinning a max-rate
+// arrival process, event-driven phases scale their event counts by the
+// phase's mean load. The result is one time-sorted FlowSpec list, ready
+// for submission or for serialization as a trace (workload/trace_replay).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/synthetic.h"
+
+namespace opera::workload {
+
+enum class DayPhaseKind : std::uint8_t {
+  kDatamining,    // poisson, heavy-tailed VL2 sizes
+  kWebsearch,     // poisson, DCTCP sizes
+  kIncast,        // partition-aggregate fan-in bursts
+  kStorage,       // replicated-write chains
+  kMlCollective,  // one ring all-reduce job spanning the phase
+};
+
+// Stable lower-case name ("datamining", ..., "ml").
+[[nodiscard]] const char* day_phase_name(DayPhaseKind kind);
+
+struct DayPhaseSpec {
+  DayPhaseKind kind = DayPhaseKind::kDatamining;
+  sim::Time duration = sim::Time::ms(2);
+  // Offered load as a fraction of aggregate host bandwidth at the phase's
+  // start and end; load_end < 0 means flat at load_begin. Event-driven
+  // phases (incast/storage/ml) use the mean of the envelope.
+  double load_begin = 0.1;
+  double load_end = -1.0;
+
+  [[nodiscard]] double end_load() const {
+    return load_end < 0.0 ? load_begin : load_end;
+  }
+  [[nodiscard]] double mean_load() const { return (load_begin + end_load()) / 2.0; }
+};
+
+struct DayInTheLifeSpec {
+  std::vector<DayPhaseSpec> phases;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] sim::Time total_duration() const;
+
+  // The canonical composed day used by benches: morning datamining ramp
+  // (peak/4 -> peak), websearch plateau, an incast burst storm, a storage
+  // backup window, and an ML training job — five phases of
+  // `phase_duration` each, peaking at `peak_load`.
+  [[nodiscard]] static DayInTheLifeSpec standard_day(sim::Time phase_duration,
+                                                     double peak_load,
+                                                     std::uint64_t seed);
+};
+
+// Composes the phase schedule into one time-sorted flow list. All
+// randomness draws from a single Rng seeded with `spec.seed`, phase by
+// phase in order, so the composition is deterministic and
+// fabric-independent (ids are remapped at submission as usual).
+[[nodiscard]] std::vector<FlowSpec> day_in_the_life_workload(
+    const DayInTheLifeSpec& spec, std::int32_t num_hosts,
+    std::int32_t hosts_per_rack, double link_rate_bps);
+
+}  // namespace opera::workload

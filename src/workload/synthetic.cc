@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <span>
 
@@ -151,11 +152,28 @@ std::vector<FlowSpec> storage_replication_workload(
     std::int32_t num_hosts, std::int32_t hosts_per_rack,
     const StorageReplicationParams& params, sim::Rng& rng) {
   const std::int32_t num_racks = num_hosts / hosts_per_rack;
-  assert(params.replicas >= 1 && num_racks >= 2);
+  // Impossible specs fail loudly (empty workload + stderr), in release
+  // builds too: a replica-less write or a one-rack fabric cannot host a
+  // rack-disjoint chain at all, and silently simulating nothing would
+  // corrupt whatever statistic the caller is sweeping.
+  if (params.replicas < 1 || num_racks < 2) {
+    std::fprintf(stderr,
+                 "storage_replication_workload: impossible spec (replicas=%d, "
+                 "racks=%d); need replicas >= 1 and racks >= 2 — returning no "
+                 "flows\n",
+                 params.replicas, num_racks);
+    return {};
+  }
   // Rack-disjoint placement can use at most every rack but the client's;
-  // clamp (rather than assert) so a small CLI-chosen fabric shortens the
-  // chain instead of reading past the candidate list in release builds.
+  // clamp (with a warning) so a small CLI-chosen fabric shortens the chain
+  // instead of reading past the candidate list.
   const int replicas = std::min(params.replicas, num_racks - 1);
+  if (replicas < params.replicas) {
+    std::fprintf(stderr,
+                 "storage_replication_workload: clamping replicas %d -> %d "
+                 "(only %d racks; chains are rack-disjoint)\n",
+                 params.replicas, replicas, num_racks);
+  }
   std::vector<FlowSpec> out;
   std::vector<std::int32_t> racks;
   for (std::int32_t w = 0; w < params.writes; ++w) {

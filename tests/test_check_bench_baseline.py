@@ -149,6 +149,34 @@ class CompareToBaselineTest(unittest.TestCase):
         self.assertEqual(failures, [])
         self.assertEqual(warnings, [])
 
+    def test_scenarios_table_shape_is_fingerprinted(self):
+        # The bench_scale_sweep scenarios leg (ditl / ditl_gray /
+        # adv_perm_storm) records a 3-row table in both the quick and
+        # --full sections; a dropped scenario row — or losing the table
+        # entirely — must fail both the quick fingerprint and the
+        # paper-scale cross-check.
+        shape = {"run": 3, "fct": 15, "slice_cache": 3, "scenarios": 3,
+                 "scale_probe": 1, "memory": 1}
+        baseline = {"bench_scale_sweep": base_entry(8.0, dict(shape))}
+        full = {"bench_scale_sweep": {"wall_s": 600.0,
+                                      "table_rows": dict(shape)}}
+        timings = {"bench_scale_sweep": {"wall_s": 8.0, "status": "ok"}}
+        ok = compare_to_baseline(baseline, timings,
+                                 {"bench_scale_sweep": dict(shape)},
+                                 full_baseline=full)
+        self.assertEqual(ok[0], [])
+        dropped_row = dict(shape, scenarios=2)
+        bad = compare_to_baseline(baseline, timings,
+                                  {"bench_scale_sweep": dropped_row},
+                                  full_baseline=full)
+        self.assertEqual(len(bad[0]), 2)
+        self.assertTrue(any("scenarios: 3 -> 2" in f for f in bad[0]))
+        dropped_table = {k: v for k, v in shape.items() if k != "scenarios"}
+        bad2 = compare_to_baseline(baseline, timings,
+                                   {"bench_scale_sweep": dropped_table},
+                                   full_baseline=full)
+        self.assertTrue(any("scenarios: 3 -> absent" in f for f in bad2[0]))
+
     def test_text_only_bench_is_wall_gated_only(self):
         # bench_micro_core records no table fingerprint: absent CSV is fine.
         baseline = {"bench_micro_core": base_entry(3.0, {})}

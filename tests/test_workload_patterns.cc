@@ -164,6 +164,20 @@ TEST(WorkloadInvariants, StorageChainClampsToAvailableRacks) {
   }
 }
 
+TEST(WorkloadInvariants, StorageImpossibleSpecFailsLoudlyWithNoFlows) {
+  // Impossible specs must return an empty workload (plus a stderr
+  // diagnostic) instead of asserting in debug and silently simulating
+  // garbage in release: a replica-less write, and a one-rack fabric that
+  // cannot host any rack-disjoint copy.
+  sim::Rng rng(5);
+  StorageReplicationParams p;
+  p.writes = 4;
+  p.replicas = 0;
+  EXPECT_TRUE(storage_replication_workload(12, 4, p, rng).empty());
+  p.replicas = 3;
+  EXPECT_TRUE(storage_replication_workload(4, 4, p, rng).empty());
+}
+
 TEST(WorkloadInvariants, MlCollectiveRingsPartitionAndBalance) {
   for (const std::uint64_t seed : {4u, 21u}) {
     sim::Rng rng(seed);
