@@ -1,6 +1,6 @@
 // bench_custom — ad-hoc fabric sweeps from the command line, no recompile:
 //
-//   bench_custom --fabric=opera --racks=432 --hosts-per-rack=12 \
+//   bench_custom --fabric=opera --racks=432 --hosts-per-rack=12
 //                --workload=poisson --load=0.25 --duration-ms=1 --seed=1
 //
 // Builds any fabric through core::FabricConfig::scale() at the requested

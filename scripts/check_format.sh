@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# clang-format check (NEVER rewrites): reports files that differ from
+# .clang-format style, exit 1 if any.
+#
+#   scripts/check_format.sh [--require]
+#
+# Without clang-format on PATH (or $CLANG_FORMAT) the script SKIPS with
+# exit 0; CI passes --require so the tool must exist there. The CI step
+# itself is advisory (continue-on-error) until the tree has been
+# clang-formatted wholesale — the config matches house style, but
+# hand-formatted code is never byte-exact against any formatter.
+set -euo pipefail
+
+require=0
+[[ "${1:-}" == "--require" ]] && require=1
+
+fmt="${CLANG_FORMAT:-}"
+if [[ -z "$fmt" ]]; then
+  for cand in clang-format clang-format-20 clang-format-19 clang-format-18 \
+              clang-format-17 clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$cand" >/dev/null 2>&1; then fmt="$cand"; break; fi
+  done
+fi
+if [[ -z "$fmt" ]]; then
+  if (( require )); then
+    echo "error: clang-format not found (set \$CLANG_FORMAT or install LLVM)" >&2
+    exit 1
+  fi
+  echo "clang-format not found — skipping (CI runs this with --require)" >&2
+  exit 0
+fi
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+echo "== $($fmt --version)"
+
+mapfile -t sources < <(find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+
+bad=0
+for f in "${sources[@]}"; do
+  if ! "$fmt" --dry-run -Werror --style=file "$f" >/dev/null 2>&1; then
+    echo "needs-format: $f"
+    bad=$((bad + 1))
+  fi
+done
+
+if (( bad > 0 )); then
+  echo "$bad file(s) differ from .clang-format style (clang-format -i to fix)" >&2
+  exit 1
+fi
+echo "format check clean (${#sources[@]} files)"

@@ -1,0 +1,487 @@
+#!/usr/bin/env python3
+"""opera-lint: statically enforce the repo's determinism contract.
+
+`--threads=N` must produce bit-identical output to `--threads=1` (pinned
+at runtime by ShardParityTest). That contract survives only if certain
+constructs never reach shard-executed code, and runtime parity tests only
+cover the configurations they run. This linter rejects the known footguns
+at review time, tree-wide:
+
+  rng-shard-path      No net::Rng / std::mt19937 / <random> machinery in
+                      shard-reachable layers (src/sim, src/net,
+                      src/transport, src/core). Shards interleave
+                      nondeterministically, so any shared rng stream's
+                      draw order depends on the partition. Legitimate
+                      coordinator-phase sites (grant shuffles that only
+                      draw at barrier-aligned global events) are
+                      enumerated in the allowlist, one entry per site.
+                      Generation-/construction-time layers (topo,
+                      workload, fluid, exp) run before or between
+                      epochs on one thread and are exempt by scope.
+  unordered-iteration No iteration over std::unordered_map/set.
+                      Iteration order is libstdc++-version- and
+                      pointer-dependent; if it feeds FlowTracker merges,
+                      Report/CSV output, or event scheduling, output
+                      changes silently. Keyed lookup is fine. Sites
+                      proven order-insensitive go in the allowlist with
+                      a justification.
+  pointer-order       No pointer-valued ordering or hashing
+                      (std::hash/less/greater over T*,
+                      reinterpret_cast<uintptr_t>). Allocation addresses
+                      differ run to run; any order derived from them is
+                      nondeterministic.
+  wall-clock          No wall-clock or libc randomness anywhere in src/:
+                      time(), std::chrono::system_clock, rand()/srand(),
+                      gettimeofday, clock(). Simulated time is sim::Time;
+                      randomness is the seeded sim::Rng.
+                      std::chrono::steady_clock is allowed: it feeds
+                      only wall-clock *reporting* (the wall_s column),
+                      never simulation state.
+  raw-packet-alloc    No raw new/delete of net::Packet outside the pool
+                      (src/net/packet.cc). Pooled packets keep the hot
+                      path allocation-free and give every packet a
+                      deterministic lifecycle; a stray `new Packet`
+                      bypasses both.
+  include-layering    #include edges between src/<layer>/ directories
+                      must match the CMake link graph (e.g. core may not
+                      include exp). The static libraries enforce this at
+                      link time only for symbols; headers leak silently.
+
+Usage:
+    scripts/opera_lint.py                      # lint src/ under the repo root
+    scripts/opera_lint.py --list-rules
+    scripts/opera_lint.py file.cc ...          # lint specific files
+    scripts/opera_lint.py --strict             # unused allowlist entries fail
+
+Exit status: 0 clean, 1 violations (each reported as
+`path:line: [rule] message`), 2 usage/config errors.
+
+The checking logic is pure functions over (relpath, source text,
+allowlist) — unit-tested by tests/test_opera_lint.py, same pattern as
+check_bench_baseline.py. The allowlist lives in
+scripts/opera_lint_allowlist.txt; see that file for the entry format.
+"""
+import argparse
+import pathlib
+import re
+import sys
+
+# Layers whose code can execute on shard worker threads during the epoch
+# loop. topo/workload/fluid/exp run at construction/generation time or on
+# the coordinator between epochs, so rng use there cannot depend on the
+# shard interleaving.
+SHARD_LAYERS = {"sim", "net", "transport", "core"}
+
+# The seeded deterministic generator's own implementation.
+RNG_IMPL_FILES = {"src/sim/rng.h", "src/sim/rng.cc"}
+
+# The packet pool — the one place allowed to `new Packet`.
+PACKET_POOL_FILES = {"src/net/packet.cc"}
+
+# Allowed #include edges between src/<layer>/ directories. Must mirror the
+# target_link_libraries graph in CMakeLists.txt (PUBLIC edges are
+# transitive there, so the closure is spelled out here).
+LAYER_DEPS = {
+    "sim": {"sim"},
+    "topo": {"topo", "sim"},
+    "net": {"net", "sim"},
+    "transport": {"transport", "net", "sim"},
+    "core": {"core", "topo", "net", "transport", "sim"},
+    "fluid": {"fluid", "topo", "sim"},
+    "workload": {"workload", "sim"},
+    "exp": {"exp", "core", "fluid", "workload", "topo", "net", "transport", "sim"},
+}
+
+
+class Violation:
+    __slots__ = ("rule", "path", "line", "message", "text")
+
+    def __init__(self, rule, path, line, message, text):
+        self.rule = rule
+        self.path = path
+        self.line = line          # 1-based
+        self.message = message
+        self.text = text          # the offending source line, for allowlist matching
+
+    def __repr__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class AllowEntry:
+    __slots__ = ("rule", "path", "pattern", "justification", "lineno", "used")
+
+    def __init__(self, rule, path, pattern, justification, lineno):
+        self.rule = rule
+        self.path = path
+        self.pattern = pattern    # compiled regex, matched against the source line
+        self.justification = justification
+        self.lineno = lineno
+        self.used = False
+
+
+def parse_allowlist(text, filename="allowlist"):
+    """Parses `rule | path | line-regex | justification` entries.
+
+    Returns (entries, errors). Blank lines and '#' comments are skipped.
+    Every field is required — an allowlist entry without a justification
+    is exactly the kind of rot this tool exists to prevent.
+    """
+    entries, errors = [], []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) != 4 or not all(parts):
+            errors.append(f"{filename}:{lineno}: expected "
+                          "'rule | path | line-regex | justification'")
+            continue
+        rule, path, pattern, justification = parts
+        if rule not in RULES:
+            errors.append(f"{filename}:{lineno}: unknown rule '{rule}'")
+            continue
+        try:
+            compiled = re.compile(pattern)
+        except re.error as e:
+            errors.append(f"{filename}:{lineno}: bad regex '{pattern}': {e}")
+            continue
+        entries.append(AllowEntry(rule, path, compiled, justification, lineno))
+    return entries, errors
+
+
+def strip_comments_and_strings(text):
+    """Blanks out //, /* */ comments and string/char literal contents,
+    preserving line structure, so rules never fire on prose or data."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            out.append("  ")
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == "'" and i > 0 and text[i - 1] in "0123456789abcdefABCDEFxX" \
+                and i + 1 < n and text[i + 1] in "0123456789abcdefABCDEF":
+            out.append(c)  # C++ digit separator (1'000'000), not a char literal
+            i += 1
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _layer_of(relpath):
+    parts = pathlib.PurePosixPath(relpath).parts
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+# --------------------------------------------------------------------------
+# Rules. Each takes (relpath, code_lines) where code_lines is the
+# comment/string-stripped source split into lines, and yields
+# (lineno, message) pairs. Scope filtering happens inside the rule.
+# --------------------------------------------------------------------------
+
+_RNG_PATTERNS = [
+    (re.compile(r"\bRng\b"), "sim::Rng"),
+    (re.compile(r"\brng_\b"), "rng_ member"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\buniform_(?:int|real)_distribution\b"), "std:: distribution"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bd?rand48\b"), "rand48"),
+]
+
+
+def rule_rng_shard_path(relpath, code_lines):
+    if _layer_of(relpath) not in SHARD_LAYERS or relpath in RNG_IMPL_FILES:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        if line.lstrip().startswith("#include"):
+            continue
+        for pat, what in _RNG_PATTERNS:
+            if pat.search(line):
+                yield (lineno,
+                       f"{what} in shard-reachable layer "
+                       f"'{_layer_of(relpath)}': shard interleaving makes any "
+                       "shared rng stream's draw order partition-dependent. "
+                       "Use order-independent header hashing on the per-packet "
+                       "path, or allowlist a coordinator-phase site.")
+                break
+
+
+_UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{()]*>\s*(\w+)\s*[;{=(]")
+_RANGE_FOR = re.compile(r"\bfor\s*\(([^;]*?):([^;)]*)\)")
+
+
+def rule_unordered_iteration(relpath, code_lines):
+    if _layer_of(relpath) is None:
+        return
+    text = "\n".join(code_lines)
+    names = set(_UNORDERED_DECL.findall(text))
+    if not names:
+        return
+    name_word = re.compile(r"\b(" + "|".join(map(re.escape, sorted(names))) + r")\b")
+    for lineno, line in enumerate(code_lines, 1):
+        m = _RANGE_FOR.search(line)
+        if m:
+            hit = name_word.search(m.group(2))
+            if hit:
+                yield (lineno,
+                       f"range-for over unordered container '{hit.group(1)}': "
+                       "iteration order is hash/pointer-dependent and will "
+                       "diverge across runs and standard libraries. Iterate a "
+                       "sorted key vector, or allowlist with a proof of "
+                       "order-insensitivity.")
+                continue
+        for n in names:
+            if re.search(re.escape(n) + r"\s*\.\s*c?begin\s*\(", line):
+                yield (lineno,
+                       f"iterator walk of unordered container '{n}': "
+                       "iteration order is hash/pointer-dependent. Iterate a "
+                       "sorted key vector, or allowlist with a proof of "
+                       "order-insensitivity.")
+                break
+
+
+_POINTER_ORDER_PATTERNS = [
+    (re.compile(r"\b(?:hash|less|greater)\s*<[^<>]*\*\s*>"),
+     "ordering/hashing by pointer value"),
+    (re.compile(r"reinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>"),
+     "pointer-to-integer cast (address-derived value)"),
+]
+
+
+def rule_pointer_order(relpath, code_lines):
+    if _layer_of(relpath) is None:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        for pat, what in _POINTER_ORDER_PATTERNS:
+            if pat.search(line):
+                yield (lineno,
+                       f"{what}: allocation addresses differ run to run, so "
+                       "any order or hash derived from them is "
+                       "nondeterministic. Key on a stable id instead.")
+                break
+
+
+_WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "high_resolution_clock (alias of system_clock on some platforms)"),
+    (re.compile(r"(?<![\w.>])time\s*\("), "time()"),
+    (re.compile(r"std::\s*time\b"), "std::time"),
+    (re.compile(r"(?<![\w.>:])rand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday"),
+    (re.compile(r"\b(?:localtime|gmtime)\b"), "calendar time"),
+    (re.compile(r"(?<![\w.>:])clock\s*\("), "clock()"),
+]
+
+
+def rule_wall_clock(relpath, code_lines):
+    if _layer_of(relpath) is None:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        for pat, what in _WALL_CLOCK_PATTERNS:
+            if pat.search(line):
+                yield (lineno,
+                       f"{what} in src/: simulation state must derive only "
+                       "from sim::Time and the seeded sim::Rng. "
+                       "(steady_clock is allowed, for wall-clock reporting.)")
+                break
+
+
+_NEW_PACKET = re.compile(r"\bnew\s+(?:net\s*::\s*)?Packet\b")
+_DELETE = re.compile(r"\bdelete\b")
+
+
+def rule_raw_packet_alloc(relpath, code_lines):
+    if _layer_of(relpath) is None or relpath in PACKET_POOL_FILES:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        if _NEW_PACKET.search(line):
+            yield (lineno,
+                   "raw `new Packet` outside the pool (src/net/packet.cc): "
+                   "use net::make_packet() so the hot path stays "
+                   "allocation-free and lifecycle-deterministic.")
+            continue
+        for m in _DELETE.finditer(line):
+            before = line[:m.start()].rstrip()
+            if before.endswith("="):  # `= delete;` declarations
+                continue
+            rest = line[m.end():]
+            if re.search(r"\b(?:pkt|packet|Packet)\b", rest):
+                yield (lineno,
+                       "raw `delete` of a packet: packets are pool-owned "
+                       "(net::PacketPtr); deleting one corrupts the pool.")
+                break
+
+
+_QUOTED_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+def rule_include_layering(relpath, code_lines):
+    layer = _layer_of(relpath)
+    if layer is None or layer not in LAYER_DEPS:
+        return
+    allowed = LAYER_DEPS[layer]
+    for lineno, line in enumerate(code_lines, 1):
+        m = _QUOTED_INCLUDE.search(line)
+        if not m:
+            continue
+        target = m.group(1).split("/")[0]
+        if target in LAYER_DEPS and target not in allowed:
+            yield (lineno,
+                   f"layer '{layer}' may not include '{target}/...' — the "
+                   "CMake link graph has no such edge (allowed: "
+                   f"{', '.join(sorted(allowed))}). Add the dependency in "
+                   "CMakeLists.txt AND here only with a layering argument.")
+
+
+RULES = {
+    "rng-shard-path": rule_rng_shard_path,
+    "unordered-iteration": rule_unordered_iteration,
+    "pointer-order": rule_pointer_order,
+    "wall-clock": rule_wall_clock,
+    "raw-packet-alloc": rule_raw_packet_alloc,
+    "include-layering": rule_include_layering,
+}
+
+
+def lint_source(relpath, text, allowlist=()):
+    """Lints one file's contents. Returns the violations that survive the
+    allowlist; marks matched entries used. Pure except for that marking."""
+    code_lines = strip_comments_and_strings(text).split("\n")
+    raw_lines = text.split("\n")
+    # The stripper blanks string-literal contents, which would erase the
+    # paths the layering rule needs — keep #include lines verbatim.
+    for i, raw in enumerate(raw_lines):
+        if i < len(code_lines) and raw.lstrip().startswith("#include"):
+            code_lines[i] = raw
+    violations = []
+    for rule_name, rule_fn in RULES.items():
+        for lineno, message in rule_fn(relpath, code_lines):
+            line_text = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+            v = Violation(rule_name, relpath, lineno, message, line_text)
+            allowed = False
+            for entry in allowlist:
+                if (entry.rule == rule_name and entry.path == relpath
+                        and entry.pattern.search(line_text)):
+                    entry.used = True
+                    allowed = True
+                    break
+            if not allowed:
+                violations.append(v)
+    violations.sort(key=lambda v: (v.path, v.line))
+    return violations
+
+
+def lint_tree(root, relpaths, allowlist=()):
+    """Lints `relpaths` (posix-relative to `root`). Returns violations."""
+    violations = []
+    for relpath in sorted(relpaths):
+        text = (root / relpath).read_text(encoding="utf-8", errors="replace")
+        violations.extend(lint_source(relpath, text, allowlist))
+    return violations
+
+
+def discover_sources(root):
+    src = root / "src"
+    return sorted(
+        p.relative_to(root).as_posix()
+        for ext in ("*.h", "*.cc")
+        for p in src.rglob(ext))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Statically enforce the bit-identical-threads contract.")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (default: all of src/)")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repo root (default: the checkout containing this script)")
+    parser.add_argument("--allowlist", type=pathlib.Path, default=None,
+                        help="allowlist file (default: scripts/opera_lint_allowlist.txt)")
+    parser.add_argument("--strict", action="store_true",
+                        help="unused allowlist entries are errors, not warnings")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    root = args.root.resolve()
+    allowlist_path = args.allowlist or root / "scripts" / "opera_lint_allowlist.txt"
+    entries = []
+    if allowlist_path.exists():
+        entries, errors = parse_allowlist(allowlist_path.read_text(),
+                                          str(allowlist_path))
+        if errors:
+            for e in errors:
+                print(f"error: {e}", file=sys.stderr)
+            return 2
+
+    if args.paths:
+        relpaths = []
+        for p in args.paths:
+            resolved = pathlib.Path(p).resolve()
+            try:
+                relpaths.append(resolved.relative_to(root).as_posix())
+            except ValueError:
+                print(f"error: {p} is outside the repo root {root}", file=sys.stderr)
+                return 2
+    else:
+        relpaths = discover_sources(root)
+
+    violations = lint_tree(root, relpaths, entries)
+    for v in violations:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+
+    unused = [e for e in entries if not e.used]
+    for e in unused:
+        print(f"{'error' if args.strict else 'warning'}: allowlist entry at "
+              f"{allowlist_path.name}:{e.lineno} never matched "
+              f"({e.rule} | {e.path}) — remove it or fix the pattern",
+              file=sys.stderr)
+
+    if violations:
+        print(f"opera-lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)", file=sys.stderr)
+        return 1
+    if args.strict and unused:
+        return 1
+    print(f"opera-lint: {len(relpaths)} file(s) clean "
+          f"({len(entries)} allowlist entr{'y' if len(entries) == 1 else 'ies'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ namespace {
 int resolve_shards(const OperaConfig& config) {
   int threads = config.threads;
   if (threads <= 0) {
+    // getenv is mt-unsafe only against concurrent setenv; this runs at
+    // fabric construction, before any shard worker exists.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("OPERA_TEST_THREADS")) {
       threads = std::atoi(env);
     }

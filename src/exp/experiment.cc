@@ -2,8 +2,6 @@
 
 #include <chrono>
 
-#include "sim/stats.h"
-
 namespace opera::exp {
 
 const std::vector<SizeBucket>& fct_buckets() {

@@ -48,6 +48,9 @@ class Host : public Node {
 
   std::int32_t id_;
   std::int32_t rack_;
+  // Keyed lookup only — never iterated (dispatch is by the arriving
+  // packet's flow id), so iteration order cannot affect delivery order.
+  // opera-lint's unordered-iteration rule enforces this.
   std::unordered_map<std::uint64_t, FlowHandler> handlers_;
   DefaultHandler default_handler_;
   PacketRing pacer_queue_;

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <numeric>
 #include <span>
 #include <vector>
 

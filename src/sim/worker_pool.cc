@@ -38,6 +38,9 @@ WorkerPool::~WorkerPool() {
 WorkerPool& WorkerPool::shared() {
   static WorkerPool* pool = [] {
     unsigned threads = 0;
+    // getenv is mt-unsafe only against concurrent setenv; read once,
+    // inside a magic-static initializer, before any worker exists.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("OPERA_POOL_THREADS")) {
       const long v = std::atol(env);
       if (v > 0) threads = static_cast<unsigned>(v);

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/rng.h"
 #include "topo/graph.h"
 #include "topo/one_factorization.h"
 

@@ -98,6 +98,10 @@ class FlowTracker {
     std::vector<StagedDelivery> deliveries;
   };
 
+  // Keyed lookup only — never iterated. Completion/delivery order comes
+  // from `completions_` (a vector in canonical merge order), so the
+  // hash map's iteration order can never leak into output. opera-lint's
+  // unordered-iteration rule enforces this.
   std::unordered_map<std::uint64_t, Flow> flows_;
   std::vector<FlowRecord> completions_;
   CompletionHook hook_;

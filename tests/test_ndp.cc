@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/host.h"
@@ -28,7 +29,11 @@ class Star {
     sw = std::make_unique<net::Switch>(sim, "sw", 0);
     for (int i = 0; i < n; ++i) {
       sw->add_port(10e9, sim::Time::ns(500), sw_q);
-      auto host = std::make_unique<net::Host>(sim, "h" + std::to_string(i), i, 0);
+      // Two-step concat: `"h" + std::to_string(i)` trips GCC 12's
+      // -Wrestrict false positive (GCC bug 105329) under -Werror.
+      std::string host_name = "h";
+      host_name += std::to_string(i);
+      auto host = std::make_unique<net::Host>(sim, std::move(host_name), i, 0);
       host->add_port(10e9, sim::Time::ns(500), host_q);
       host->uplink().connect(sw.get(), i);
       sw->port(i).connect(host.get(), 0);
