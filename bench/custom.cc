@@ -16,7 +16,9 @@
 #include <string>
 
 #include "exp/experiment.h"
+#include "exp/run_guard.h"
 #include "exp/scenario.h"
+#include "sim/checkpoint.h"
 #include "workload/flow_size_dist.h"
 #include "workload/synthetic.h"
 
@@ -72,7 +74,20 @@ int usage() {
       "  --threads=N       shard the event loop over N rack domains\n"
       "                    (Opera; bit-identical output for any N)\n"
       "  --construct-only  build the network, skip the traffic run\n"
-      "  --csv | --json    output format\n");
+      "  --csv | --json    output format\n"
+      "run guardrails (docs/CHECKPOINT.md):\n"
+      "  --checkpoint-every=T  write a checkpoint every T ms of sim time\n"
+      "  --checkpoint-to=FILE  checkpoint destination (default\n"
+      "                        bench_custom.ckpt; atomic tmp+rename)\n"
+      "  --resume=FILE     rebuild + replay from FILE's checkpoint; run\n"
+      "                    parameters come from the file (--threads, guard\n"
+      "                    flags and output format are still honored;\n"
+      "                    --scenario conflicts)\n"
+      "  --max-wall-s=S    wall-clock watchdog: checkpoint + partial report\n"
+      "                    + exit 43 after S seconds\n"
+      "  --max-rss-mb=M    memory guard: degrade (shrink slice window),\n"
+      "                    then checkpoint + partial report + exit 44\n"
+      "  SIGINT/SIGTERM    checkpoint + partial report + exit 42\n");
   return 2;
 }
 
@@ -100,6 +115,21 @@ int main(int argc, char** argv) {
   const bool construct_only = exp::CliOptions::has_flag(argc, argv, "--construct-only");
   const std::string scenario_str = arg_string(argc, argv, "--scenario", "");
 
+  // Run guardrails (exp::RunGuard). Any of these flags activates the
+  // guarded driver; without them the legacy run path below is untouched.
+  const double checkpoint_every_ms =
+      arg_double(argc, argv, "--checkpoint-every", 0.0);
+  const double max_wall_s = arg_double(argc, argv, "--max-wall-s", 0.0);
+  const double max_rss_mb = arg_double(argc, argv, "--max-rss-mb", 0.0);
+  const std::string resume_path = arg_string(argc, argv, "--resume", "");
+  std::string checkpoint_path = arg_string(argc, argv, "--checkpoint-to", "");
+  const bool resuming = !resume_path.empty();
+  const bool guard_active = resuming || checkpoint_every_ms > 0 ||
+                            max_wall_s > 0 || max_rss_mb > 0;
+  if (checkpoint_path.empty()) {
+    checkpoint_path = resuming ? resume_path : "bench_custom.ckpt";
+  }
+
   exp::Experiment ex("custom fabric sweep", argc, argv);
 
   core::FabricConfig config = core::FabricConfig::make(*kind);
@@ -109,9 +139,40 @@ int main(int argc, char** argv) {
       static_cast<int>(arg_long(argc, argv, "--slice-window", 0));
   config.threads = ex.cli().threads;  // parsed by exp::CliOptions with the other shared flags
 
+  // Resume: run parameters come from the checkpoint (the recipe), not the
+  // CLI — replaying a different workload against a restored time marker
+  // could only produce garbage. --threads stays an override (the restored
+  // run is bit-identical at any shard count).
+  exp::RunRecipe recipe;
+  sim::Time resume_time;
+  std::uint64_t resume_digest = 0;
+  if (resuming) {
+    if (!scenario_str.empty()) {
+      std::fprintf(stderr,
+                   "bench_custom: --scenario conflicts with --resume (the "
+                   "scenario suite is recorded in the checkpoint)\n");
+      return 2;
+    }
+    auto parsed = sim::load_checkpoint(resume_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_custom: %s\n", parsed.error.c_str());
+      return 2;
+    }
+    if (const std::string err = exp::recipe_from_checkpoint(
+            parsed.data, &recipe, &resume_time, &resume_digest);
+        !err.empty()) {
+      std::fprintf(stderr, "bench_custom: %s: %s\n", resume_path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    if (ex.cli().threads != 0) recipe.config.threads = ex.cli().threads;
+    config = recipe.config;
+  }
+  const std::string scenario_suite = resuming ? recipe.scenario : scenario_str;
+
   std::vector<exp::ScenarioSpec> scenarios;
-  if (!scenario_str.empty()) {
-    auto parsed = exp::parse_scenarios(scenario_str);
+  if (!scenario_suite.empty()) {
+    auto parsed = exp::parse_scenarios(scenario_suite);
     if (!parsed.ok()) {
       std::fprintf(stderr, "bench_custom: %s\n", parsed.error.c_str());
       return usage();
@@ -154,7 +215,10 @@ int main(int argc, char** argv) {
 
   sim::Rng rng(seed + 1);
   std::vector<workload::FlowSpec> flows;
-  if (workload_scenario != nullptr) {
+  if (resuming) {
+    run_label = recipe.run_label;
+    flows = recipe.flows;
+  } else if (workload_scenario != nullptr) {
     run_label = exp::scenario_kind_name(workload_scenario->kind);
     std::string err;
     flows = exp::scenario_flows(*workload_scenario, config, &err);
@@ -195,54 +259,99 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  // Labels and horizon: from the recipe on resume, from the CLI otherwise.
+  const std::string fct_label = resuming ? recipe.fabric_label : fabric_name;
+  const double load_pct = resuming ? recipe.load_pct : load * 100.0;
+  const sim::Time horizon =
+      resuming ? recipe.horizon : sim::Time::from_us(horizon_ms * 1000.0);
+
   const auto run_start = std::chrono::steady_clock::now();
   for (const auto& f : flows) {
     net->submit_remapped(f.src_host, f.dst_host, f.size_bytes, f.start);
   }
-  const auto status = net->run_to_completion(sim::Time::from_us(horizon_ms * 1000.0));
+
+  // Result tail, shared between normal completion and the guard's
+  // partial-report exit path (SIGINT/watchdog/memory).
+  const auto emit_results = [&](sim::Time ended_at, double run_seconds) {
+    auto& run_table = ex.report().table(
+        "run", {"workload", "flows", "completed", "sim_ms", "wall_s", "events"});
+    run_table.row({run_label, static_cast<std::int64_t>(flows.size()),
+                   static_cast<std::int64_t>(net->tracker().completed()),
+                   exp::Value(ended_at.to_ms(), 3), exp::Value(run_seconds, 3),
+                   static_cast<std::int64_t>(net->events_executed())});
+    ex.emit_fct_rows(fct_label, load_pct, *net);
+
+    if (!scenarios.empty()) {
+      const auto fct =
+          net->tracker().fct_us(0, std::numeric_limits<std::int64_t>::max());
+      core::OperaNetwork::TorStats tor_stats;
+      if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {
+        tor_stats = opera_net->tor_stats();
+      }
+      auto& scenario_table = ex.report().table(
+          "scenario",
+          {"scenario", "flows", "completed", "p50_us", "p99_us", "wire_drops",
+           "tor_drops"});
+      scenario_table.row(
+          {scenario_suite, static_cast<std::int64_t>(flows.size()),
+           static_cast<std::int64_t>(net->tracker().completed()),
+           exp::Value(fct.empty() ? 0.0 : fct.percentile(50), 1),
+           exp::Value(fct.empty() ? 0.0 : fct.percentile(99), 1),
+           static_cast<std::int64_t>(tor_stats.wire_drops),
+           static_cast<std::int64_t>(tor_stats.drops)});
+    }
+
+    if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {
+      const auto& cache = opera_net->slice_tables();
+      const auto& st = cache.stats();
+      ex.report().note(
+          "slice tables: %s window %d of %d, resident %zu (%.1f MB, peak %.1f MB), "
+          "builds %llu demand + %llu prefetch, evictions %llu",
+          cache.eager() ? "eager" : "windowed", cache.window(), cache.num_slices(),
+          st.resident, st.resident_bytes / 1e6, st.peak_resident_bytes / 1e6,
+          static_cast<unsigned long long>(st.demand_builds),
+          static_cast<unsigned long long>(st.prefetch_builds),
+          static_cast<unsigned long long>(st.evictions));
+    }
+    ex.report().note("peak RSS %.1f MB", exp::peak_rss_bytes() / 1e6);
+  };
+
+  core::Network::RunStatus status{};
+  if (guard_active) {
+    if (!resuming) {
+      recipe.run_label = run_label;
+      recipe.fabric_label = fct_label;
+      recipe.load_pct = load_pct;
+      recipe.scenario = scenario_suite;
+      recipe.config = config;
+      recipe.flows = flows;
+      recipe.horizon = horizon;
+    }
+    exp::RunGuardOptions gopts;
+    gopts.checkpoint_every = sim::Time::from_us(checkpoint_every_ms * 1000.0);
+    gopts.checkpoint_path = checkpoint_path;
+    gopts.max_wall_s = max_wall_s;
+    gopts.max_rss_bytes = static_cast<std::size_t>(max_rss_mb * 1e6);
+    gopts.resume_time = resume_time;
+    gopts.resume_digest = resume_digest;
+    gopts.partial_report = [&](const char* reason) {
+      ex.report().note("PARTIAL RUN: %s", reason);
+      const double run_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        run_start)
+              .count();
+      emit_results(net->sim().now(), run_seconds);
+      ex.report().finish();
+    };
+    exp::RunGuard guard(std::move(recipe), std::move(gopts));
+    status = guard.drive(*net);
+  } else {
+    status = net->run_to_completion(horizon);
+  }
   const double run_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
           .count();
 
-  auto& run_table = ex.report().table(
-      "run", {"workload", "flows", "completed", "sim_ms", "wall_s", "events"});
-  run_table.row({run_label, static_cast<std::int64_t>(flows.size()),
-                 static_cast<std::int64_t>(net->tracker().completed()),
-                 exp::Value(status.ended_at.to_ms(), 3), exp::Value(run_seconds, 3),
-                 static_cast<std::int64_t>(net->events_executed())});
-  ex.emit_fct_rows(fabric_name, load * 100.0, *net);
-
-  if (!scenarios.empty()) {
-    const auto fct = net->tracker().fct_us(0, std::numeric_limits<std::int64_t>::max());
-    core::OperaNetwork::TorStats tor_stats;
-    if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {
-      tor_stats = opera_net->tor_stats();
-    }
-    auto& scenario_table = ex.report().table(
-        "scenario",
-        {"scenario", "flows", "completed", "p50_us", "p99_us", "wire_drops",
-         "tor_drops"});
-    scenario_table.row(
-        {scenario_str, static_cast<std::int64_t>(flows.size()),
-         static_cast<std::int64_t>(net->tracker().completed()),
-         exp::Value(fct.empty() ? 0.0 : fct.percentile(50), 1),
-         exp::Value(fct.empty() ? 0.0 : fct.percentile(99), 1),
-         static_cast<std::int64_t>(tor_stats.wire_drops),
-         static_cast<std::int64_t>(tor_stats.drops)});
-  }
-
-  if (const auto* opera_net = dynamic_cast<const core::OperaNetwork*>(net.get())) {
-    const auto& cache = opera_net->slice_tables();
-    const auto& st = cache.stats();
-    ex.report().note(
-        "slice tables: %s window %d of %d, resident %zu (%.1f MB, peak %.1f MB), "
-        "builds %llu demand + %llu prefetch, evictions %llu",
-        cache.eager() ? "eager" : "windowed", cache.window(), cache.num_slices(),
-        st.resident, st.resident_bytes / 1e6, st.peak_resident_bytes / 1e6,
-        static_cast<unsigned long long>(st.demand_builds),
-        static_cast<unsigned long long>(st.prefetch_builds),
-        static_cast<unsigned long long>(st.evictions));
-  }
-  ex.report().note("peak RSS %.1f MB", exp::peak_rss_bytes() / 1e6);
+  emit_results(status.ended_at, run_seconds);
   return 0;
 }

@@ -46,6 +46,14 @@ at review time, tree-wide:
                       must match the CMake link graph (e.g. core may not
                       include exp). The static libraries enforce this at
                       link time only for symbols; headers leak silently.
+  checkpoint-coverage Structs serialized into checkpoints are tagged
+                      `// checkpoint:v<N> fields=<M>` (docs/CHECKPOINT.md).
+                      The rule counts the struct's data members and fails
+                      when the count drifts from fields=<M>: adding a
+                      member without updating the marker — and therefore
+                      without thinking about the schema version and the
+                      reader — is exactly how checkpoints rot into silent
+                      misparses.
 
 Usage:
     scripts/opera_lint.py                      # lint src/ under the repo root
@@ -363,6 +371,122 @@ def rule_include_layering(relpath, code_lines):
                    "CMakeLists.txt AND here only with a layering argument.")
 
 
+# Markers live in comments, which the stripper blanks, so this rule reads
+# the raw lines (see the needs_raw dispatch in lint_source). The struct
+# body itself is scanned in the stripped text so commented-out members and
+# string contents can't skew the count.
+_CHECKPOINT_MARKER = re.compile(r"//\s*checkpoint:v(\d+)\s+fields=(\d+)\s*$")
+_STRUCT_OPEN = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(?:struct|class)\s+(\w+)")
+_ACCESS_SPEC = re.compile(r"^(?:public|private|protected)\s*:\s*")
+_ATTRIBUTE = re.compile(r"^\[\[[^\]]*\]\]\s*")
+_NON_MEMBER_KEYWORDS = re.compile(
+    r"^(?:using|typedef|static|friend|template|struct|class|enum)\b")
+
+
+def _is_member_statement(stmt):
+    """True if a depth-1 struct-body statement (terminated by ';') declares
+    a data member rather than a method/alias/nested type."""
+    s = stmt.strip()
+    while True:
+        trimmed = _ACCESS_SPEC.sub("", _ATTRIBUTE.sub("", s))
+        if trimmed == s:
+            break
+        s = trimmed
+    if not s or _NON_MEMBER_KEYWORDS.match(s):
+        return False
+    # Blank template argument lists so `std::function<void(int)> f;` isn't
+    # mistaken for a function declaration by the paren test below.
+    while True:
+        collapsed = re.sub(r"<[^<>]*>", "", s)
+        if collapsed == s:
+            break
+        s = collapsed
+    if "operator" in s:
+        return False
+    eq, par = s.find("="), s.find("(")
+    return par == -1 or (eq != -1 and eq < par)
+
+
+def _count_data_members(text, open_brace):
+    """Counts data-member declarations in the struct body whose opening
+    brace is at text[open_brace]. Nested blocks (method bodies, nested
+    types, brace initializers) are skipped wholesale; a skipped block
+    followed by ';' belongs to the statement (init or nested definition),
+    one without ';' was a method body and voids the pending statement."""
+    i, n = open_brace + 1, len(text)
+    count = 0
+    stmt = []
+    while i < n:
+        c = text[i]
+        if c == "}":
+            break
+        if c == "{":
+            inner = 1
+            i += 1
+            while i < n and inner > 0:
+                if text[i] == "{":
+                    inner += 1
+                elif text[i] == "}":
+                    inner -= 1
+                i += 1
+            j = i
+            while j < n and text[j].isspace():
+                j += 1
+            if j >= n or text[j] != ";":
+                stmt = []  # method body — not a declaration statement
+            continue
+        if c == ";":
+            if _is_member_statement("".join(stmt)):
+                count += 1
+            stmt = []
+        else:
+            stmt.append(c)
+        i += 1
+    return count
+
+
+def rule_checkpoint_coverage(relpath, code_lines, raw_lines):
+    if _layer_of(relpath) is None:
+        return
+    for lineno, raw in enumerate(raw_lines, 1):
+        m = _CHECKPOINT_MARKER.search(raw)
+        if not m:
+            continue
+        version, declared = int(m.group(1)), int(m.group(2))
+        j = lineno  # 0-based index of the line after the marker
+        while j < len(code_lines) and not code_lines[j].strip():
+            j += 1
+        struct_match = _STRUCT_OPEN.match(code_lines[j]) \
+            if j < len(code_lines) else None
+        if struct_match is None:
+            yield (lineno,
+                   "dangling checkpoint marker: `// checkpoint:vN fields=M` "
+                   "must immediately precede the struct/class it covers.")
+            continue
+        body = "\n".join(code_lines[j:])
+        open_brace = body.find("{")
+        if open_brace < 0:
+            yield (lineno,
+                   "dangling checkpoint marker: tagged declaration "
+                   f"'{struct_match.group(1)}' has no body here (markers "
+                   "go on the definition, not a forward declaration).")
+            continue
+        actual = _count_data_members(body, open_brace)
+        if actual != declared:
+            yield (lineno,
+                   f"checkpoint-tagged struct '{struct_match.group(1)}' has "
+                   f"{actual} data member(s) but the marker says "
+                   f"fields={declared}: a serialized struct changed shape. "
+                   f"Update the marker (fields={actual}, and bump v{version} "
+                   f"-> v{version + 1} if the wire layout changed) in the "
+                   "same change as the serializer/reader — see "
+                   "docs/CHECKPOINT.md versioning rules.")
+
+
+rule_checkpoint_coverage.needs_raw = True
+
+
 RULES = {
     "rng-shard-path": rule_rng_shard_path,
     "unordered-iteration": rule_unordered_iteration,
@@ -370,6 +494,7 @@ RULES = {
     "wall-clock": rule_wall_clock,
     "raw-packet-alloc": rule_raw_packet_alloc,
     "include-layering": rule_include_layering,
+    "checkpoint-coverage": rule_checkpoint_coverage,
 }
 
 
@@ -385,7 +510,11 @@ def lint_source(relpath, text, allowlist=()):
             code_lines[i] = raw
     violations = []
     for rule_name, rule_fn in RULES.items():
-        for lineno, message in rule_fn(relpath, code_lines):
+        if getattr(rule_fn, "needs_raw", False):
+            findings = rule_fn(relpath, code_lines, raw_lines)
+        else:
+            findings = rule_fn(relpath, code_lines)
+        for lineno, message in findings:
             line_text = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
             v = Violation(rule_name, relpath, lineno, message, line_text)
             allowed = False

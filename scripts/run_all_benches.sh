@@ -27,6 +27,12 @@ fi
 mkdir -p "$out_dir"
 : > "$out_dir/timings.txt"
 failures=0
+dead_benches=()
+
+# Per-bench wall-clock cap. A hung bench is killed (SIGTERM, then SIGKILL
+# after 20s grace) and whatever CSV it managed to stream is preserved under
+# $out_dir/partial/ so a night of sweeps is never a total loss.
+timeout_s="${OPERA_BENCH_TIMEOUT_S:-1800}"
 
 shopt -s nullglob
 benches=("$build_dir"/bench_*)
@@ -48,10 +54,20 @@ for bin in "${benches[@]}"; do
   echo "== $name"
   start=$(date +%s%N)
   status=ok rc=0
-  "$bin" "${args[@]+"${args[@]}"}" > "$out_dir/$name.$ext" 2> "$out_dir/$name.err" || rc=$?
+  timeout --signal=TERM --kill-after=20 "$timeout_s" \
+    "$bin" "${args[@]+"${args[@]}"}" > "$out_dir/$name.$ext" 2> "$out_dir/$name.err" || rc=$?
   if (( rc != 0 )); then
-    status="FAILED (exit $rc)"
+    if (( rc == 124 || rc == 137 )); then
+      status="TIMED OUT after ${timeout_s}s (exit $rc)"
+    else
+      status="FAILED (exit $rc)"
+    fi
     failures=$((failures + 1))
+    dead_benches+=("$name (exit $rc)")
+    # Keep whatever the bench streamed before dying, out of the way of the
+    # complete CSVs that baseline checks consume.
+    mkdir -p "$out_dir/partial"
+    mv "$out_dir/$name.$ext" "$out_dir/partial/$name.$ext"
   fi
   if [[ -s "$out_dir/$name.err" ]]; then
     status="$status, stderr in $name.err"
@@ -65,7 +81,10 @@ for bin in "${benches[@]}"; do
 done
 
 if (( failures > 0 )); then
-  echo "done with $failures failed bench(es): outputs in $out_dir/" >&2
+  echo "done with $failures failed bench(es); partial CSVs in $out_dir/partial/:" >&2
+  for dead in "${dead_benches[@]}"; do
+    echo "  FAILED: $dead" >&2
+  done
   exit 1
 fi
 echo "done: outputs in $out_dir/"

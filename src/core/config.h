@@ -15,11 +15,13 @@
 
 namespace opera::core {
 
+// checkpoint:v1 fields=2
 struct LinkParams {
   double rate_bps = 10e9;
   sim::Time propagation = sim::Time::ns(500);  // 100 m of fiber
 };
 
+// checkpoint:v1 fields=4
 struct SliceParams {
   sim::Time duration = sim::Time::us(99);       // epsilon + r
   sim::Time reconfiguration = sim::Time::us(10);  // rotor retarget time
@@ -32,6 +34,7 @@ struct SliceParams {
   sim::Time drain_window = sim::Time::us(30);
 };
 
+// checkpoint:v1 fields=10
 struct OperaConfig {
   topo::OperaParams topology;  // defaults: 108 racks x 6 hosts (648 hosts)
   LinkParams link;

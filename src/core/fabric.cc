@@ -1,7 +1,9 @@
 #include "core/fabric.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace opera::core {
 
@@ -181,6 +183,213 @@ RotorNetConfig FabricConfig::rotornet_config() const {
   cfg.ndp = ndp;
   cfg.seed = seed;
   return cfg;
+}
+
+namespace {
+
+// Serialization helpers: one key per FabricConfig knob. Times travel as
+// picoseconds, doubles as round-trip %.17g, bools as 0/1.
+void put_i64(std::vector<sim::CheckpointEntry>* out, const char* key,
+             std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out->push_back({key, buf});
+}
+
+void put_u64(std::vector<sim::CheckpointEntry>* out, const char* key,
+             std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out->push_back({key, buf});
+}
+
+void put_double(std::vector<sim::CheckpointEntry>* out, const char* key,
+                double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out->push_back({key, buf});
+}
+
+void put_time(std::vector<sim::CheckpointEntry>* out, const char* key,
+              sim::Time t) {
+  put_i64(out, key, t.picoseconds());
+}
+
+// Parse-side: each setter returns false on a malformed value. Strtoll/
+// strtod accept the exact formats the putters emit.
+bool get_i64(const std::string& text, std::int64_t* v) {
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *v = parsed;
+  return true;
+}
+
+bool get_u64(const std::string& text, std::uint64_t* v) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *v = parsed;
+  return true;
+}
+
+bool get_double(const std::string& text, double* v) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *v = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::vector<sim::CheckpointEntry> serialize_fabric_config(
+    const FabricConfig& config) {
+  std::vector<sim::CheckpointEntry> out;
+  out.push_back({"kind", fabric_kind_name(config.kind)});
+  put_i64(&out, "opera.num_racks", config.opera.num_racks);
+  put_i64(&out, "opera.num_switches", config.opera.num_switches);
+  put_u64(&out, "opera.seed", config.opera.seed);
+  put_i64(&out, "opera.hosts_per_rack", config.opera.hosts_per_rack);
+  put_i64(&out, "clos.radix", config.clos.radix);
+  put_i64(&out, "clos.oversubscription", config.clos.oversubscription);
+  put_i64(&out, "clos.num_pods", config.clos.num_pods);
+  put_i64(&out, "expander.num_tors", config.expander.num_tors);
+  put_i64(&out, "expander.uplinks", config.expander.uplinks);
+  put_i64(&out, "expander.hosts_per_tor", config.expander.hosts_per_tor);
+  put_u64(&out, "expander.seed", config.expander.seed);
+  put_i64(&out, "rotornet.num_racks", config.rotornet.num_racks);
+  put_i64(&out, "rotornet.num_switches", config.rotornet.num_switches);
+  put_i64(&out, "rotornet.hybrid", config.rotornet.hybrid ? 1 : 0);
+  put_u64(&out, "rotornet.seed", config.rotornet.seed);
+  put_i64(&out, "rotornet_hosts_per_rack", config.rotornet_hosts_per_rack);
+  put_double(&out, "link.rate_bps", config.link.rate_bps);
+  put_time(&out, "link.propagation_ps", config.link.propagation);
+  put_time(&out, "slice.duration_ps", config.slice.duration);
+  put_time(&out, "slice.reconfiguration_ps", config.slice.reconfiguration);
+  put_time(&out, "slice.guard_ps", config.slice.guard);
+  put_time(&out, "slice.drain_window_ps", config.slice.drain_window);
+  put_i64(&out, "ndp.initial_window_packets", config.ndp.initial_window_packets);
+  put_time(&out, "ndp.fallback_rto_ps", config.ndp.fallback_rto);
+  put_i64(&out, "bulk_threshold_bytes", config.bulk_threshold_bytes);
+  put_i64(&out, "priority_queueing", config.priority_queueing ? 1 : 0);
+  put_i64(&out, "enable_vlb", config.enable_vlb ? 1 : 0);
+  put_u64(&out, "seed", config.seed);
+  put_i64(&out, "slice_table_window", config.slice_table_window);
+  put_u64(&out, "slice_table_budget_bytes", config.slice_table_budget_bytes);
+  put_i64(&out, "threads", config.threads);
+  return out;
+}
+
+std::string parse_fabric_config(
+    const std::vector<sim::CheckpointEntry>& entries, FabricConfig* out) {
+  *out = FabricConfig{};
+  for (const auto& entry : entries) {
+    const std::string& key = entry.key;
+    const std::string& value = entry.value;
+    bool ok = true;
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    double d = 0;
+    auto as_i32 = [&](std::int32_t* field) {
+      ok = get_i64(value, &i);
+      if (ok) *field = static_cast<std::int32_t>(i);
+    };
+    auto as_int = [&](int* field) {
+      ok = get_i64(value, &i);
+      if (ok) *field = static_cast<int>(i);
+    };
+    auto as_bool = [&](bool* field) {
+      ok = get_i64(value, &i) && (i == 0 || i == 1);
+      if (ok) *field = i != 0;
+    };
+    auto as_time = [&](sim::Time* field) {
+      ok = get_i64(value, &i);
+      if (ok) *field = sim::Time::ps(i);
+    };
+    if (key == "kind") {
+      const auto kind = parse_fabric_kind(value);
+      ok = kind.has_value();
+      if (ok) out->kind = *kind;
+    } else if (key == "opera.num_racks") {
+      as_i32(&out->opera.num_racks);
+    } else if (key == "opera.num_switches") {
+      as_int(&out->opera.num_switches);
+    } else if (key == "opera.seed") {
+      ok = get_u64(value, &u);
+      if (ok) out->opera.seed = u;
+    } else if (key == "opera.hosts_per_rack") {
+      as_int(&out->opera.hosts_per_rack);
+    } else if (key == "clos.radix") {
+      as_int(&out->clos.radix);
+    } else if (key == "clos.oversubscription") {
+      as_int(&out->clos.oversubscription);
+    } else if (key == "clos.num_pods") {
+      as_int(&out->clos.num_pods);
+    } else if (key == "expander.num_tors") {
+      as_i32(&out->expander.num_tors);
+    } else if (key == "expander.uplinks") {
+      as_int(&out->expander.uplinks);
+    } else if (key == "expander.hosts_per_tor") {
+      as_int(&out->expander.hosts_per_tor);
+    } else if (key == "expander.seed") {
+      ok = get_u64(value, &u);
+      if (ok) out->expander.seed = u;
+    } else if (key == "rotornet.num_racks") {
+      as_i32(&out->rotornet.num_racks);
+    } else if (key == "rotornet.num_switches") {
+      as_int(&out->rotornet.num_switches);
+    } else if (key == "rotornet.hybrid") {
+      as_bool(&out->rotornet.hybrid);
+    } else if (key == "rotornet.seed") {
+      ok = get_u64(value, &u);
+      if (ok) out->rotornet.seed = u;
+    } else if (key == "rotornet_hosts_per_rack") {
+      as_int(&out->rotornet_hosts_per_rack);
+    } else if (key == "link.rate_bps") {
+      ok = get_double(value, &d);
+      if (ok) out->link.rate_bps = d;
+    } else if (key == "link.propagation_ps") {
+      as_time(&out->link.propagation);
+    } else if (key == "slice.duration_ps") {
+      as_time(&out->slice.duration);
+    } else if (key == "slice.reconfiguration_ps") {
+      as_time(&out->slice.reconfiguration);
+    } else if (key == "slice.guard_ps") {
+      as_time(&out->slice.guard);
+    } else if (key == "slice.drain_window_ps") {
+      as_time(&out->slice.drain_window);
+    } else if (key == "ndp.initial_window_packets") {
+      as_int(&out->ndp.initial_window_packets);
+    } else if (key == "ndp.fallback_rto_ps") {
+      as_time(&out->ndp.fallback_rto);
+    } else if (key == "bulk_threshold_bytes") {
+      ok = get_i64(value, &out->bulk_threshold_bytes);
+    } else if (key == "priority_queueing") {
+      as_bool(&out->priority_queueing);
+    } else if (key == "enable_vlb") {
+      as_bool(&out->enable_vlb);
+    } else if (key == "seed") {
+      ok = get_u64(value, &out->seed);
+    } else if (key == "slice_table_window") {
+      as_int(&out->slice_table_window);
+    } else if (key == "slice_table_budget_bytes") {
+      ok = get_u64(value, &u);
+      if (ok) out->slice_table_budget_bytes = static_cast<std::size_t>(u);
+    } else if (key == "threads") {
+      as_int(&out->threads);
+    } else {
+      return "unknown [config] key '" + key +
+             "' (written by a newer schema?)";
+    }
+    if (!ok) {
+      return "malformed value for [config] key '" + key + "': '" + value + "'";
+    }
+  }
+  return "";
 }
 
 std::unique_ptr<Network> NetworkFactory::build(const FabricConfig& config) {

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/clos_network.h"
 #include "core/config.h"
@@ -24,6 +25,7 @@
 #include "core/network.h"
 #include "core/opera_network.h"
 #include "core/rotornet_network.h"
+#include "sim/checkpoint.h"
 
 namespace opera::core {
 
@@ -38,6 +40,7 @@ enum class FabricKind : std::uint8_t {
 [[nodiscard]] const char* fabric_kind_name(FabricKind kind);
 [[nodiscard]] std::optional<FabricKind> parse_fabric_kind(std::string_view name);
 
+// checkpoint:v1 fields=16
 struct FabricConfig {
   FabricKind kind = FabricKind::kOpera;
 
@@ -100,5 +103,18 @@ class NetworkFactory {
   // Builds the fabric `config.kind` selects. Never returns null.
   [[nodiscard]] static std::unique_ptr<Network> build(const FabricConfig& config);
 };
+
+// Checkpoint [config] section: every FabricConfig knob as a flat key/value
+// list (times in picoseconds, doubles in round-trip %.17g). The schema's
+// versioning rule: a key absent from the list leaves the struct default in
+// place (so adding a knob with a back-compatible default needs no version
+// bump), an *unknown* key is a hard error (newer writers are never
+// silently misread). See docs/CHECKPOINT.md.
+[[nodiscard]] std::vector<sim::CheckpointEntry> serialize_fabric_config(
+    const FabricConfig& config);
+// Inverse: applies `entries` over defaults. Returns "" on success, else a
+// message naming the offending key.
+[[nodiscard]] std::string parse_fabric_config(
+    const std::vector<sim::CheckpointEntry>& entries, FabricConfig* out);
 
 }  // namespace opera::core

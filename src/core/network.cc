@@ -43,6 +43,12 @@ Network::RunStatus Network::run_with_progress(sim::Time horizon, sim::Time inter
   return status;
 }
 
+void Network::fingerprint(sim::Fingerprint& fp) const {
+  fp.mix_time(sim().now());
+  fp.mix_u64(events_executed());
+  tracker().fingerprint(fp);
+}
+
 Network::RunStatus Network::run_to_completion(sim::Time horizon,
                                               sim::Time check_interval) {
   return run_with_progress(horizon, check_interval, [](Network& net) {

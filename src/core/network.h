@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "net/packet.h"
+#include "sim/checkpoint.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "transport/flow.h"
@@ -101,6 +102,23 @@ class Network {
   [[nodiscard]] virtual std::int32_t rack_of_host(std::int32_t host) const = 0;
   // One-line human description, e.g. "Opera (108 racks x 6 hosts, 6 rotors)".
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  // --- Checkpoint / guardrail hooks --------------------------------------
+  // Mixes the fabric's partition-invariant state into `fp`: clock, total
+  // event count and the canonical completion stream in the base, plus
+  // whatever per-fabric counters an override adds. Equal digests at equal
+  // barrier-aligned times are the checkpoint contract: a restored run that
+  // reaches the checkpoint time must reproduce this digest exactly, at any
+  // --threads=N. Call only from a barrier (no shard phase in flight);
+  // overrides must never digest partition-dependent state (per-shard
+  // clocks, endpoint pools, mailboxes).
+  virtual void fingerprint(sim::Fingerprint& fp) const;
+
+  // Memory-pressure degradation (exp::RunGuard): release memory without
+  // changing simulation output — e.g. Opera shrinks its slice-table window
+  // (content-neutral, parity-tested). Returns true if anything was freed;
+  // the default has nothing to give back. Call only from a barrier.
+  virtual bool degrade_memory() { return false; }
 };
 
 }  // namespace opera::core

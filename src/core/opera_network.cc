@@ -617,6 +617,32 @@ std::size_t OperaNetwork::voq_memory_bytes() const {
   return bytes;
 }
 
+void OperaNetwork::fingerprint(sim::Fingerprint& fp) const {
+  Network::fingerprint(fp);
+  // Slice rotation state.
+  fp.mix_u64(static_cast<std::uint64_t>(current_slice_));
+  fp.mix_i64(abs_slice_);
+  // Failure machinery: the live set, the table snapshot, and whether
+  // routing avoids failures yet.
+  fp.mix_bool(route_around_failures_);
+  failures_.fingerprint(fp);
+  table_failures_.fingerprint(fp);
+  // Coordinator rng cursor (bulk grant order draws advance it).
+  rng_.fingerprint(fp);
+  // Per-ToR counters and queue state, in rack order; per-host NIC port in
+  // host order. Both orders are partition-invariant.
+  for (const auto& tor : tors_) tor->fingerprint(fp);
+  for (const auto& host : hosts_) host->port(0).fingerprint(fp);
+  // Rotor desync state.
+  for (const sim::Time t : skew_extra_) fp.mix_time(t);
+  for (const int n : skew_remaining_) fp.mix_u64(static_cast<std::uint64_t>(n));
+}
+
+bool OperaNetwork::degrade_memory() {
+  const int window = slice_tables_.window();
+  return slice_tables_.shrink_window(window / 2);
+}
+
 std::string OperaNetwork::describe() const {
   // Deliberately identical for any shard count: describe() lands in CSV
   // rows, and sharding must not change a byte of bench output (the

@@ -153,6 +153,17 @@ class OperaNetwork : public Network {
   // buffers) — the k=32 memory probe (see transport/sparse_voq.h).
   [[nodiscard]] std::size_t voq_memory_bytes() const;
 
+  // Checkpoint hook: base digest plus slice rotation state, failure sets,
+  // the coordinator rng cursor, per-ToR/per-host-port counters and skew
+  // state — everything partition-invariant. Per-shard endpoint pools and
+  // shard clocks are deliberately excluded (partition-dependent).
+  void fingerprint(sim::Fingerprint& fp) const override;
+
+  // Memory-pressure degradation: halves the slice-table window (floor
+  // topo::SliceTableCache::kMinWindow). Content-neutral — window size is
+  // parity-tested to never change output (SliceWindowParity).
+  bool degrade_memory() override;
+
  private:
   void build_nodes();
   void recompute_after_failure();

@@ -216,23 +216,34 @@ void Report::finish() {
   std::fflush(stdout);
 }
 
-std::size_t peak_rss_bytes() {
+namespace {
+
+// Shared /proc/self/status field reader for the RSS probes below.
+std::size_t proc_status_kb(const char* field, std::size_t field_len) {
 #ifdef __linux__
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return 0;
   char line[256];
   std::size_t kb = 0;
   while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      kb = std::strtoull(line + 6, nullptr, 10);
+    if (std::strncmp(line, field, field_len) == 0) {
+      kb = std::strtoull(line + field_len, nullptr, 10);
       break;
     }
   }
   std::fclose(f);
   return kb * 1024;
 #else
+  (void)field;
+  (void)field_len;
   return 0;
 #endif
 }
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return proc_status_kb("VmHWM:", 6); }
+
+std::size_t current_rss_bytes() { return proc_status_kb("VmRSS:", 6); }
 
 }  // namespace opera::exp

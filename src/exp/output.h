@@ -38,6 +38,11 @@ struct CliOptions {
 // regressions — the k=24 slice-table story — are visible in CI artifacts.
 [[nodiscard]] std::size_t peak_rss_bytes();
 
+// Current resident-set size in bytes (Linux VmRSS; 0 where the platform
+// doesn't expose it). exp::RunGuard polls it for the memory-pressure
+// degradation path.
+[[nodiscard]] std::size_t current_rss_bytes();
+
 // One typed cell. Doubles carry their print precision so human, CSV and
 // JSON renderings agree on the numeric text.
 class Value {

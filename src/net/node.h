@@ -82,6 +82,18 @@ class OutPort {
     return capacity - queue_.bulk_bytes();
   }
 
+  // Checkpoint hook: link availability, gray-degradation state, and the
+  // queue digest. The peer pointer is identified by the wiring replay, not
+  // by address (addresses differ run to run).
+  void fingerprint(sim::Fingerprint& fp) const {
+    fp.mix_bool(enabled_);
+    fp.mix_bool(busy_);
+    fp.mix_bool(gray_);
+    fp.mix_i64(gray_drops_);
+    fp.mix_i64(gray_tested_);
+    queue_.fingerprint(fp);
+  }
+
  private:
   void pump();
 

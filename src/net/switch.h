@@ -50,6 +50,14 @@ class Switch : public Node {
 
   [[nodiscard]] std::uint64_t forward_drops() const { return forward_drops_; }
 
+  // Checkpoint hook: drop history plus every output port in index order
+  // (ids, never pointers — the order must be partition-independent).
+  void fingerprint(sim::Fingerprint& fp) const {
+    fp.mix_i64(id_);
+    fp.mix_u64(forward_drops_);
+    for (int p = 0; p < num_ports(); ++p) port(p).fingerprint(fp);
+  }
+
  private:
   std::int32_t id_;
   ForwardFn forward_;

@@ -1,0 +1,131 @@
+// sim::Checkpoint — the versioned, deterministic snapshot layer.
+//
+// The event queue holds arbitrary closures (sim/small_callback.h), so a
+// byte-dump of live simulator state is not serializable. Instead a
+// checkpoint is a *run recipe plus a progress marker*: everything needed
+// to rebuild the fabric and replay it (config, flow list, scenario
+// suite), the barrier-aligned simulated time T the snapshot was taken at,
+// and a multi-layer state fingerprint. Restore = rebuild, resubmit,
+// replay deterministically to T, and *verify* the fingerprint — the
+// bit-identical --threads=N contract (docs/ARCHITECTURE.md "Sharded
+// execution") is what makes the replay provably exact. What is serialized
+// vs recomputed is spelled out in docs/CHECKPOINT.md.
+//
+// The file format is line-oriented text, versioned by the header line
+// ("OPERA-CHECKPOINT v<N>") and guarded by a trailing FNV-1a checksum, so
+// truncated, corrupted, and version-skewed files are all rejected loudly
+// with the offending line number (same style as workload/trace_replay.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace opera::sim {
+
+// Bump when the schema changes shape (new/removed keys, section grammar).
+// Readers reject any other version. Structs feeding the schema carry a
+// `// checkpoint:v<N> fields=<M>` marker enforced by opera-lint's
+// checkpoint-coverage rule: adding a member without updating the marker
+// (and this version, with a matching parser change) fails lint.
+inline constexpr int kCheckpointSchemaVersion = 1;
+
+// Chained 64-bit state digest. Layers fold their thread-invariant state
+// into one of these (Network::fingerprint and the hooks under it); restore
+// recomputes the digest at the checkpoint's time and any mismatch is a
+// loud fatal error. Order-sensitive by design: mixing the same values in
+// a different order yields a different digest, so every fingerprint hook
+// must visit state in a partition-independent order (by id, never by
+// pointer or shard).
+class Fingerprint {
+ public:
+  void mix_u64(std::uint64_t v) {
+    h_ = mix_step(h_ ^ v);
+    ++count_;
+  }
+  void mix_i64(std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); }
+  void mix_bool(bool v) { mix_u64(v ? 1u : 0u); }
+  void mix_time(Time t) { mix_i64(t.picoseconds()); }
+  void mix_double(double v);  // bit pattern, not value rounding
+  void mix_bytes(std::string_view bytes);
+
+  // Finalized digest (length-extension-guarded by the mix count).
+  [[nodiscard]] std::uint64_t digest() const {
+    return mix_step(h_ ^ (count_ * 0x9E3779B97F4A7C15ULL));
+  }
+
+ private:
+  // splitmix64 finalizer (same mixer as sim::mix64; duplicated to keep
+  // this header free of the event-queue include).
+  [[nodiscard]] static constexpr std::uint64_t mix_step(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t count_ = 0;
+};
+
+// One `key value` line in a checkpoint section. Keys carry no spaces; the
+// value is the rest of the line (may be empty, may contain spaces — the
+// scenario suite string does).
+// checkpoint:v1 fields=2
+struct CheckpointEntry {
+  std::string key;
+  std::string value;
+};
+
+// One submitted flow, in submission order. Flow ids are assigned in
+// submission order (transport::FlowTracker::next_flow_id), so replaying
+// this list verbatim reproduces the id assignment exactly.
+// checkpoint:v1 fields=4
+struct CheckpointFlow {
+  std::int64_t start_ps = 0;
+  std::int32_t src_host = 0;
+  std::int32_t dst_host = 0;
+  std::int64_t size_bytes = 0;
+};
+
+// The checkpoint container: [run] (driver-level keys: labels, horizon,
+// scenario suite), [config] (serialized core::FabricConfig), [flows]
+// (submission-order flow list), [state] (progress marker + fingerprint).
+// checkpoint:v1 fields=5
+struct CheckpointData {
+  int version = kCheckpointSchemaVersion;
+  std::vector<CheckpointEntry> run;
+  std::vector<CheckpointEntry> config;
+  std::vector<CheckpointFlow> flows;
+  std::vector<CheckpointEntry> state;
+};
+
+// Section lookup; null when `key` is absent.
+[[nodiscard]] const std::string* find_entry(
+    const std::vector<CheckpointEntry>& section, std::string_view key);
+
+struct CheckpointParseResult {
+  CheckpointData data;
+  std::string error;  // empty on success; "<name>:<line>: message" otherwise
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+// Parses checkpoint text. `name` labels parse errors (usually the path).
+[[nodiscard]] CheckpointParseResult parse_checkpoint(std::string_view text,
+                                                     std::string_view name);
+// Reads and parses `path` (missing/unreadable files are errors too).
+[[nodiscard]] CheckpointParseResult load_checkpoint(const std::string& path);
+
+// Renders `data` in the versioned text format, checksum line included.
+[[nodiscard]] std::string write_checkpoint_text(const CheckpointData& data);
+
+// Atomically writes `data` to `path` (tmp file + rename, so a crash
+// mid-write never leaves a torn checkpoint — the previous one survives).
+// Returns "" on success, an error message otherwise.
+[[nodiscard]] std::string save_checkpoint(const std::string& path,
+                                          const CheckpointData& data);
+
+}  // namespace opera::sim

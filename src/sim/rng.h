@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "sim/checkpoint.h"
+
 namespace opera::sim {
 
 class Rng {
@@ -47,6 +49,13 @@ class Rng {
 
   // Sample k distinct indices from [0, n) without replacement.
   [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  // Folds the generator cursor (the full xoshiro256++ state) into a
+  // checkpoint fingerprint: two runs agree here iff they have drawn the
+  // same number of values from the same seed.
+  void fingerprint(Fingerprint& fp) const {
+    for (const std::uint64_t word : s_) fp.mix_u64(word);
+  }
 
  private:
   std::uint64_t s_[4];

@@ -135,6 +135,15 @@ class ShardedSimulator {
 
   [[nodiscard]] std::uint64_t events_executed() const;
 
+  // Checkpoint hook. Only partition-invariant aggregates: the committed
+  // global clock and the total dispatch count (each logical event runs
+  // exactly once regardless of the shard partition). Per-shard clocks and
+  // mailbox contents are partition-*dependent* and must never be digested.
+  void fingerprint(Fingerprint& fp) const {
+    fp.mix_time(global_.now());
+    fp.mix_u64(events_executed());
+  }
+
  private:
   friend class ShardContext;
 

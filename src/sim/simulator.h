@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/checkpoint.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -100,6 +101,15 @@ class Simulator {
   [[nodiscard]] EventQueue& queue() { return queue_; }
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+  // Checkpoint hook: clock and dispatch count. Pending events are NOT
+  // digested — they are closures, and replay-based restore (sim/
+  // checkpoint.h) regenerates them; the dispatch count pins that the same
+  // number of events ran to reach this clock.
+  void fingerprint(Fingerprint& fp) const {
+    fp.mix_time(now_);
+    fp.mix_u64(events_executed_);
+  }
 
  private:
   // The executing event's key plus how many children it has scheduled so

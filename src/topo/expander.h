@@ -11,6 +11,7 @@
 
 namespace opera::topo {
 
+// checkpoint:v1 fields=4
 struct ExpanderParams {
   Vertex num_tors = 130;   // e.g. 650 hosts at d=5 for the u=7 baseline
   int uplinks = 7;         // u > k/2: expanders over-provision upward ports

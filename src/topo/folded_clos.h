@@ -19,6 +19,7 @@
 
 namespace opera::topo {
 
+// checkpoint:v1 fields=3
 struct ClosParams {
   int radix = 12;             // k, even
   int oversubscription = 3;   // F, integer d:u ratio

@@ -1,6 +1,7 @@
 #include "topo/one_factorization.h"
 
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 
 namespace opera::topo {
@@ -187,12 +188,12 @@ namespace {
 // n-1 random perfect matchings drawn sequentially, each avoiding all
 // previously used edges. Restarts from scratch when the tail of the
 // construction wedges (e.g. the penultimate 2-regular remainder has an odd
-// cycle).
-std::vector<Matching> random_factorization_even(Vertex n, sim::Rng& rng) {
+// cycle). Returns empty when the restart budget is exhausted — the caller
+// decides whether to bump the seed or give up.
+std::vector<Matching> random_factorization_even_once(
+    Vertex n, sim::Rng& rng, const FactorizationBudget& budget) {
   const auto sz = static_cast<std::size_t>(n);
-  constexpr int kMaxRestarts = 200;
-  constexpr int kMatchingRetries = 30;
-  for (int restart = 0; restart < kMaxRestarts; ++restart) {
+  for (int restart = 0; restart < budget.max_restarts; ++restart) {
     std::vector<std::uint8_t> used(sz * sz, 0);
     for (std::size_t v = 0; v < sz; ++v) used[v * sz + v] = 1;  // diagonal
     std::vector<Matching> out;
@@ -203,7 +204,7 @@ std::vector<Matching> random_factorization_even(Vertex n, sim::Rng& rng) {
     bool ok = true;
     for (Vertex round = 0; round + 1 < n && ok; ++round) {
       ok = false;
-      for (int retry = 0; retry < kMatchingRetries; ++retry) {
+      for (int retry = 0; retry < budget.matching_retries; ++retry) {
         Matching m = random_disjoint_matching(n, used, rng);
         if (m.empty()) continue;
         for (Vertex v = 0; v < n; ++v) {
@@ -217,17 +218,44 @@ std::vector<Matching> random_factorization_even(Vertex n, sim::Rng& rng) {
     }
     if (ok) return out;
   }
-  throw std::runtime_error("random_factorization: restart budget exhausted");
+  return {};
+}
+
+// Seed-bumping wrapper: attempt 0 runs on the caller's rng (the success
+// path is byte-identical to the pre-budget behavior); every subsequent
+// attempt reseeds an independent stream from a value drawn off the
+// caller's rng, warning loudly so the changed randomization is auditable.
+std::vector<Matching> random_factorization_even(
+    Vertex n, sim::Rng& rng, const FactorizationBudget& budget) {
+  auto out = random_factorization_even_once(n, rng, budget);
+  if (!out.empty()) return out;
+  for (int bump = 0; bump < budget.seed_bumps; ++bump) {
+    const std::uint64_t seed = rng.next_u64();
+    std::fprintf(stderr,
+                 "random_factorization: restart budget exhausted (n=%d, "
+                 "%d restarts x %d retries); bumping to seed %llu "
+                 "(attempt %d/%d)\n",
+                 static_cast<int>(n), budget.max_restarts,
+                 budget.matching_retries,
+                 static_cast<unsigned long long>(seed), bump + 1,
+                 budget.seed_bumps);
+    sim::Rng bumped(seed);
+    out = random_factorization_even_once(n, bumped, budget);
+    if (!out.empty()) return out;
+  }
+  throw std::runtime_error(
+      "random_factorization: restart budget exhausted after all seed bumps");
 }
 
 }  // namespace
 
-std::vector<Matching> random_factorization(Vertex n, sim::Rng& rng) {
+std::vector<Matching> random_factorization(Vertex n, sim::Rng& rng,
+                                           const FactorizationBudget& budget) {
   if (n % 2 == 1) {
     // Factor the even N+1 graph, then strip the dummy vertex: the dummy's
     // partner becomes self-matched, and the (now trivial) identity matching
     // is dropped, leaving exactly N matchings (see circle_factorization).
-    const auto big = random_factorization_even(n + 1, rng);
+    const auto big = random_factorization_even(n + 1, rng, budget);
     std::vector<Matching> out;
     for (const auto& m : big) {
       bool identity = true;
@@ -242,7 +270,7 @@ std::vector<Matching> random_factorization(Vertex n, sim::Rng& rng) {
     rng.shuffle(std::span<Matching>{out});
     return out;
   }
-  auto ms = random_factorization_even(n, rng);
+  auto ms = random_factorization_even(n, rng, budget);
   rng.shuffle(std::span<Matching>{ms});
   return ms;
 }

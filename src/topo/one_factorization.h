@@ -39,6 +39,22 @@ using Matching = std::vector<Vertex>;
 // For odd N: N matchings, each leaving one vertex self-matched.
 [[nodiscard]] std::vector<Matching> circle_factorization(Vertex n);
 
+// Retry budgets for the randomized construction. The construction draws
+// random matchings that can wedge (the tail remainder may have no perfect
+// matching); restarts and per-round retries almost always recover. If the
+// whole budget is exhausted on the caller's rng stream anyway — the stream
+// can be pathological for a given n — the generator *bumps the seed*:
+// it draws a fresh seed from the caller's rng, retries the full budget on
+// an independent stream, and repeats up to `seed_bumps` times, warning
+// loudly on stderr with the bumped seed each time. Only after every bump
+// fails does it throw. The success path without bumps is byte-identical
+// to the historical behavior (attempt 0 uses the caller's rng directly).
+struct FactorizationBudget {
+  int max_restarts = 200;     // from-scratch construction restarts
+  int matching_retries = 30;  // per-round random matching draws
+  int seed_bumps = 8;         // independent reseeded reruns of the above
+};
+
 // Uniformly-mixed random factorization (the paper's "randomly factor").
 // Starts from the circle factorization, then mixes with alternating-cycle
 // color swaps: pick two perfect matchings, find an alternating cycle in
@@ -47,7 +63,8 @@ using Matching = std::vector<Vertex>;
 // method's algebraic structure (which would otherwise yield circulant-like
 // slice unions with poor expansion). Finishes with a random vertex
 // relabeling and a shuffle of the matching order.
-[[nodiscard]] std::vector<Matching> random_factorization(Vertex n, sim::Rng& rng);
+[[nodiscard]] std::vector<Matching> random_factorization(
+    Vertex n, sim::Rng& rng, const FactorizationBudget& budget = {});
 
 // One alternating-cycle swap between perfect matchings `a` and `b` through
 // vertex `start` (exposed for testing). Both matchings must be perfect on

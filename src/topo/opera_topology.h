@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "topo/graph.h"
 #include "topo/one_factorization.h"
 
 namespace opera::topo {
 
+// checkpoint:v1 fields=4
 struct OperaParams {
   Vertex num_racks = 108;     // N; determines slice count
   int num_switches = 6;       // u = number of rotor switches = ToR uplinks
@@ -38,6 +40,17 @@ struct FailureSet {
 
   static FailureSet none(Vertex num_racks, int num_switches);
   [[nodiscard]] bool any() const;
+
+  // Checkpoint hook: the full membership, in index order.
+  void fingerprint(sim::Fingerprint& fp) const {
+    fp.mix_u64(rack_failed.size());
+    for (const bool b : rack_failed) fp.mix_bool(b);
+    fp.mix_u64(switch_failed.size());
+    for (const bool b : switch_failed) fp.mix_bool(b);
+    for (const auto& row : uplink_failed) {
+      for (const bool b : row) fp.mix_bool(b);
+    }
+  }
 };
 
 class OperaTopology {

@@ -17,6 +17,7 @@
 
 namespace opera::topo {
 
+// checkpoint:v1 fields=4
 struct RotorNetParams {
   Vertex num_racks = 108;
   int num_switches = 6;     // rotor switches (hybrid: one fewer carries bulk)

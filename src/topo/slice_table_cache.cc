@@ -105,6 +105,14 @@ void SliceTableCache::invalidate_all() {
   stats_.resident_bytes = 0;
 }
 
+bool SliceTableCache::shrink_window(int new_window) {
+  new_window = std::max(new_window, kMinWindow);
+  if (new_window >= window_) return false;
+  window_ = new_window;
+  evict_beyond_window();
+  return true;
+}
+
 void SliceTableCache::install(int slice, EcmpTable table) {
   auto& slot = slots_[static_cast<std::size_t>(slice)];
   assert(slot == nullptr);

@@ -94,6 +94,16 @@ class SliceTableCache {
   // changed, so cached content is stale). Resolved window is kept.
   void invalidate_all();
 
+  // Memory-pressure degradation (exp::RunGuard): permanently shrinks the
+  // resolved window to `new_window` (clamped to [kMinWindow, window())),
+  // evicting the LRU overhang immediately. Returns false when already at
+  // the floor (nothing left to give back). Table *content* is unaffected —
+  // window size is parity-tested to be output-neutral (SliceWindowParity)
+  // — so degrading mid-run never changes simulation results, only the
+  // build/eviction churn. Call only from a barrier (coordinator phase),
+  // like prefetch()/invalidate_all().
+  bool shrink_window(int new_window);
+
   // Sharded execution: get()'s demand path may be hit concurrently from
   // shard phases, so it takes a mutex and defers eviction to the next
   // (single-threaded) prefetch — a demand build may briefly exceed the

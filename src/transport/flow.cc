@@ -102,4 +102,19 @@ sim::PercentileSampler FlowTracker::fct_us(std::int64_t lo_bytes,
   return out;
 }
 
+void FlowTracker::fingerprint(sim::Fingerprint& fp) const {
+  fp.mix_u64(flows_.size());
+  fp.mix_u64(next_id_);
+  fp.mix_u64(completions_.size());
+  for (const auto& rec : completions_) {
+    fp.mix_u64(rec.flow.id);
+    fp.mix_i64(rec.flow.src_host);
+    fp.mix_i64(rec.flow.dst_host);
+    fp.mix_i64(rec.flow.size_bytes);
+    fp.mix_u64(static_cast<std::uint64_t>(rec.flow.tclass));
+    fp.mix_time(rec.flow.start);
+    fp.mix_time(rec.end);
+  }
+}
+
 }  // namespace opera::transport

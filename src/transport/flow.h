@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/checkpoint.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -78,6 +79,12 @@ class FlowTracker {
                                               std::int64_t hi_bytes) const;
 
   [[nodiscard]] std::uint64_t next_flow_id() { return next_id_++; }
+
+  // Checkpoint hook: registration/completion counts plus every completion
+  // record in the canonical (time, flow id) merge order — which is
+  // partition-invariant by the lane-merge contract above. Must be called
+  // from a barrier (lanes flushed), like any completion-stream read.
+  void fingerprint(sim::Fingerprint& fp) const;
 
   // Enables per-shard staging with `n` lanes (0 disables — the direct,
   // single-threaded path). Call before the run starts.

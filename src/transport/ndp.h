@@ -19,6 +19,7 @@
 
 namespace opera::transport {
 
+// checkpoint:v1 fields=2
 struct NdpConfig {
   int initial_window_packets = 10;  // ~1 BDP at 10 Gb/s / intra-DC RTT
   sim::Time fallback_rto = sim::Time::ms(1);

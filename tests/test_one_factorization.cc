@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "sim/rng.h"
 
 namespace opera::topo {
@@ -107,6 +110,49 @@ TEST(OneFactorization, IncompleteFactorizationDetected) {
   auto ms = circle_factorization(6);
   ms.pop_back();  // drop one matching: coverage hole
   EXPECT_FALSE(is_complete_factorization(ms));
+}
+
+TEST(OneFactorization, SuccessPathIdenticalWithExplicitDefaultBudget) {
+  // The budget parameter must not perturb the no-bump path: same seed,
+  // default vs spelled-out default budget, byte-identical factorization.
+  sim::Rng rng1(123);
+  sim::Rng rng2(123);
+  const auto a = random_factorization(16, rng1);
+  const auto b = random_factorization(16, rng2, FactorizationBudget{});
+  EXPECT_EQ(a, b);
+}
+
+TEST(OneFactorization, SeedBumpRecoversFromExhaustedBudget) {
+  // Budget of one restart with one matching retry per round wedges on
+  // attempt 0 for this seed (probed offline); the generator must then warn
+  // on stderr with the bumped seed and still produce a complete
+  // factorization instead of throwing.
+  const FactorizationBudget tight{1, 1, 64};
+  sim::Rng rng(4);
+  testing::internal::CaptureStderr();
+  const auto ms = random_factorization(54, rng, tight);
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warnings.find("bumping to seed"), std::string::npos) << warnings;
+  EXPECT_EQ(ms.size(), 54u);
+  EXPECT_TRUE(is_complete_factorization(ms));
+}
+
+TEST(OneFactorization, ThrowsOnlyAfterAllSeedBumpsFail) {
+  // max_restarts = 0 makes every attempt fail deterministically, so the
+  // generator must burn exactly seed_bumps bumps (each warned) and then
+  // throw — the pre-retry behavior of throwing on first exhaustion is gone.
+  const FactorizationBudget hopeless{0, 1, 3};
+  sim::Rng rng(7);
+  testing::internal::CaptureStderr();
+  EXPECT_THROW(random_factorization(16, rng, hopeless), std::runtime_error);
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  std::size_t bumps = 0;
+  for (std::size_t pos = warnings.find("bumping to seed");
+       pos != std::string::npos;
+       pos = warnings.find("bumping to seed", pos + 1)) {
+    ++bumps;
+  }
+  EXPECT_EQ(bumps, 3u) << warnings;
 }
 
 // Property sweep: completeness holds across a range of sizes.

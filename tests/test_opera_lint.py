@@ -240,6 +240,61 @@ class IncludeLayeringTest(unittest.TestCase):
         self.assertEqual(vs, [])
 
 
+class CheckpointCoverageTest(unittest.TestCase):
+    TAGGED = (
+        "// checkpoint:v1 fields=2\n"
+        "struct Foo {\n"
+        "  int a = 0;\n"
+        "  sim::Time b;\n"
+        "};\n")
+
+    def test_matching_count_is_clean(self):
+        vs, _ = lint("src/core/foo.h", self.TAGGED)
+        self.assertEqual(vs, [])
+
+    def test_added_member_without_marker_update_fires(self):
+        src = self.TAGGED.replace("  sim::Time b;\n",
+                                  "  sim::Time b;\n  double extra = 0.0;\n")
+        vs, _ = lint("src/core/foo.h", src)
+        self.assertEqual(rules_of(vs), [("checkpoint-coverage", 1)])
+        self.assertIn("fields=2", vs[0].message)
+        self.assertIn("3 data member(s)", vs[0].message)
+        self.assertIn("v1 -> v2", vs[0].message)
+
+    def test_methods_statics_aliases_not_counted(self):
+        src = (
+            "// checkpoint:v3 fields=3\n"
+            "struct Foo {\n"
+            "  using Clock = sim::Time;\n"
+            "  static constexpr int kMax = 4;\n"
+            "  enum class Mode { kA, kB };\n"
+            "  int a;\n"
+            "  std::function<void(const char*)> hook;  // parens in template args\n"
+            "  std::vector<int> brace_init{1, 2};\n"
+            "  void method(int x = 3);\n"
+            "  int inline_body() const { return a; }\n"
+            "  Foo& operator=(const Foo&) = default;\n"
+            "};\n")
+        vs, _ = lint("src/core/foo.h", src)
+        self.assertEqual(vs, [], vs)
+
+    def test_commented_out_member_not_counted(self):
+        src = self.TAGGED.replace("  sim::Time b;\n",
+                                  "  sim::Time b;\n  // int disabled;\n")
+        vs, _ = lint("src/core/foo.h", src)
+        self.assertEqual(vs, [])
+
+    def test_dangling_marker_fires(self):
+        vs, _ = lint("src/core/foo.h",
+                     "// checkpoint:v1 fields=2\nint not_a_struct;\n")
+        self.assertEqual(rules_of(vs), [("checkpoint-coverage", 1)])
+        self.assertIn("dangling", vs[0].message)
+
+    def test_untagged_structs_ignored(self):
+        vs, _ = lint("src/core/foo.h", "struct Foo { int a; int b; };\n")
+        self.assertEqual(vs, [])
+
+
 class AllowlistParserTest(unittest.TestCase):
     def test_missing_justification_is_an_error(self):
         _, errors = parse_allowlist("rng-shard-path | src/a.cc | pat |\n")

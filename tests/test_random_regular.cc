@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 #include "sim/rng.h"
 
 namespace opera::topo {
@@ -51,6 +55,48 @@ TEST(RandomRegular, DeterministicGivenSeed) {
   for (Vertex v = 0; v < 30; ++v) {
     EXPECT_EQ(a.neighbors(v), b.neighbors(v));
   }
+}
+
+TEST(RandomRegular, SuccessPathIdenticalWithExplicitDefaultBudget) {
+  // The budget parameter must not perturb the no-bump path: same seed,
+  // default vs spelled-out default budget, byte-identical graph.
+  sim::Rng rng1(99);
+  sim::Rng rng2(99);
+  const Graph a = random_regular_graph(30, 4, rng1);
+  const Graph b = random_regular_graph(30, 4, rng2, RegularGraphBudget{});
+  for (Vertex v = 0; v < 30; ++v) EXPECT_EQ(a.neighbors(v), b.neighbors(v));
+}
+
+TEST(RandomRegular, SeedBumpRecoversFromExhaustedBudget) {
+  // Near-complete density (u = n-2) with a single restart and a single
+  // matching retry wedges on attempt 0 for this seed (probed offline); the
+  // generator must warn on stderr with the bumped seed and still deliver
+  // the graph instead of throwing.
+  const RegularGraphBudget tight{1, 1, 64};
+  sim::Rng rng(3);
+  testing::internal::CaptureStderr();
+  const Graph g = random_regular_graph(16, 14, rng, tight);
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warnings.find("bumping to seed"), std::string::npos) << warnings;
+  EXPECT_TRUE(is_connected(g));
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 14);
+}
+
+TEST(RandomRegular, ThrowsOnlyAfterAllSeedBumpsFail) {
+  // max_restarts = 0 fails every attempt deterministically: expect exactly
+  // seed_bumps warnings and then the exception, not a first-failure throw.
+  const RegularGraphBudget hopeless{0, 1, 3};
+  sim::Rng rng(5);
+  testing::internal::CaptureStderr();
+  EXPECT_THROW(random_regular_graph(20, 4, rng, hopeless), std::runtime_error);
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  std::size_t bumps = 0;
+  for (std::size_t pos = warnings.find("bumping to seed");
+       pos != std::string::npos;
+       pos = warnings.find("bumping to seed", pos + 1)) {
+    ++bumps;
+  }
+  EXPECT_EQ(bumps, 3u) << warnings;
 }
 
 // Property sweep: regularity and connectivity across sizes and degrees.
