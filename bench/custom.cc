@@ -61,7 +61,8 @@ int usage() {
       "  --scenario=SPEC[;SPEC...]  declarative scenarios (docs/SCENARIOS.md):\n"
       "                    ditl / trace / adversarial-perm replace --workload;\n"
       "                    storm-rolling / storm-racks / gray / skew arm\n"
-      "                    failure events (opera only, any number)\n"
+      "                    failure events (opera only; gray/skew need the\n"
+      "                    packet engine; any number)\n"
       "  --load=F          poisson offered load  (default 0.10)\n"
       "  --dist=datamining|websearch|hadoop      (default datamining)\n"
       "  --flow-kb=K       fixed-size-flow workloads' flow/object/chunk\n"
@@ -73,6 +74,9 @@ int usage() {
       "                    eager if all fit 256 MB, else windowed+LRU)\n"
       "  --threads=N       shard the event loop over N rack domains\n"
       "                    (Opera; bit-identical output for any N)\n"
+      "  --engine=packet|fluid|hybrid  simulation engine (Opera only;\n"
+      "                    fluid integrates bulk flows as rate groups,\n"
+      "                    hybrid splits by bulk threshold — docs/FLUID.md)\n"
       "  --construct-only  build the network, skip the traffic run\n"
       "  --csv | --json    output format\n"
       "run guardrails (docs/CHECKPOINT.md):\n"
@@ -138,6 +142,15 @@ int main(int argc, char** argv) {
   config.slice_table_window =
       static_cast<int>(arg_long(argc, argv, "--slice-window", 0));
   config.threads = ex.cli().threads;  // parsed by exp::CliOptions with the other shared flags
+  if (!ex.cli().engine.empty()) {
+    const auto engine = core::parse_engine_kind(ex.cli().engine);
+    if (!engine) {
+      std::fprintf(stderr, "bench_custom: unknown engine '%s'\n",
+                   ex.cli().engine.c_str());
+      return usage();
+    }
+    config.engine = *engine;
+  }
 
   // Resume: run parameters come from the checkpoint (the recipe), not the
   // CLI — replaying a different workload against a restored time marker
@@ -151,6 +164,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "bench_custom: --scenario conflicts with --resume (the "
                    "scenario suite is recorded in the checkpoint)\n");
+      return 2;
+    }
+    if (!ex.cli().engine.empty()) {
+      std::fprintf(stderr,
+                   "bench_custom: --engine conflicts with --resume (the "
+                   "engine is recorded in the checkpoint)\n");
       return 2;
     }
     auto parsed = sim::load_checkpoint(resume_path);
@@ -194,6 +213,9 @@ int main(int argc, char** argv) {
   // Record the *resolved* shard count (covers the OPERA_TEST_THREADS env
   // default, not just --threads) so CSV artifacts label sharded walls.
   if (net->num_shards() > 1) ex.report().note("threads=%d", net->num_shards());
+  if (config.engine != core::EngineKind::kPacket) {
+    ex.report().note("engine=%s", core::engine_kind_name(config.engine));
+  }
 
   auto& build_table = ex.report().table(
       "build", {"fabric", "racks", "hosts", "construct_s"});
@@ -208,9 +230,7 @@ int main(int argc, char** argv) {
   for (const auto& s : scenarios) {
     ex.report().note("scenario: %s", exp::describe(s).c_str());
     if (exp::scenario_is_workload(s)) workload_scenario = &s;
-    else if (auto* opera_net = dynamic_cast<core::OperaNetwork*>(net.get())) {
-      exp::arm_scenario(s, *opera_net);
-    }
+    else exp::arm_scenario(s, *net);  // engine-dispatching overload
   }
 
   sim::Rng rng(seed + 1);

@@ -19,6 +19,7 @@
 // FCT buckets, the scale-probe row, and a process-wide peak-RSS row.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
@@ -181,6 +182,63 @@ int main(int argc, char** argv) {
            exp::Value(fct.empty() ? 0.0 : fct.percentile(99), 1),
            static_cast<std::int64_t>(tor_stats.wire_drops),
            static_cast<std::int64_t>(tor_stats.drops)});
+    }
+  }
+
+  // Engine sweep (docs/FLUID.md): one ditl day, identical per mode,
+  // through the packet, fluid and hybrid engines, with the bulk threshold
+  // at 1 MB so the day's elephants actually exercise the fluid plane at
+  // bench-scale flow sizes. Quick compares all three at k=12. --full is
+  // the regime the fluid backend exists for: a >=1M-flow, 2 s simulated
+  // day at k=24 the packet engine cannot touch (its row stays "-"), plus
+  // a moderated hybrid day at the same scale. Three rows in both modes —
+  // the shape the baseline gates.
+  {
+    auto& engine_table = ex.report().table(
+        "engine_sweep", {"engine", "racks", "flows", "completed", "sim_ms",
+                         "wall_s", "events", "p50_us"});
+    const auto engine_run = [&](core::EngineKind engine, const char* suite,
+                                int horizon_ms) {
+      core::FabricConfig cfg =
+          full ? core::FabricConfig::make(core::FabricKind::kOpera).scale(432, 12)
+               : core::FabricConfig::make(core::FabricKind::kOpera).scale(24, 6);
+      cfg.engine = engine;
+      cfg.bulk_threshold_bytes = 1'000'000;
+      const auto parsed = exp::parse_scenarios(suite);
+      if (!parsed.ok() || parsed.specs.size() != 1) {
+        std::fprintf(stderr, "bench_scale_sweep: bad engine-sweep suite '%s'\n",
+                     suite);
+        std::exit(1);
+      }
+      const auto flows = exp::scenario_flows(parsed.specs[0], cfg);
+      exp::Experiment::RunOptions opts;
+      opts.horizon = sim::Time::ms(horizon_ms);
+      const auto result = ex.run(core::engine_kind_name(engine), cfg, flows, opts);
+      const auto fct = result.net->tracker().fct_us(
+          0, std::numeric_limits<std::int64_t>::max());
+      engine_table.row(
+          {core::engine_kind_name(engine), cfg.opera.num_racks,
+           static_cast<std::int64_t>(flows.size()),
+           static_cast<std::int64_t>(result.net->tracker().completed()),
+           exp::Value(result.status.ended_at.to_ms(), 3),
+           exp::Value(result.wall_seconds, 2),
+           static_cast<std::int64_t>(result.net->events_executed()),
+           exp::Value(fct.empty() ? 0.0 : fct.percentile(50), 1)});
+    };
+    if (full) {
+      // A packet run at a million flows x 2 s is days of wall-clock; the
+      // placeholder row keeps the 3-row shape and says so.
+      engine_table.row({"packet", 432, "-", "-", "-", "-", "-", "-"});
+      engine_run(core::EngineKind::kFluid,
+                 "ditl:phase-ms=400,load=0.27,seed=9", 2000);
+      engine_run(core::EngineKind::kHybrid,
+                 "ditl:phase-ms=0.5,load=0.1,seed=9", 15);
+    } else {
+      for (const auto engine :
+           {core::EngineKind::kPacket, core::EngineKind::kFluid,
+            core::EngineKind::kHybrid}) {
+        engine_run(engine, "ditl:phase-ms=0.5,load=0.1,seed=9", 12);
+      }
     }
   }
 

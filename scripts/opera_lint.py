@@ -95,7 +95,10 @@ LAYER_DEPS = {
     "net": {"net", "sim"},
     "transport": {"transport", "net", "sim"},
     "core": {"core", "topo", "net", "transport", "sim"},
-    "fluid": {"fluid", "topo", "sim"},
+    # fluid sits above core: the fluid/hybrid engines implement
+    # core::Network and register themselves in core::NetworkFactory
+    # (PR 9); the closure pulls in core's own deps.
+    "fluid": {"fluid", "core", "topo", "net", "transport", "sim"},
     "workload": {"workload", "sim"},
     "exp": {"exp", "core", "fluid", "workload", "topo", "net", "transport", "sim"},
 }

@@ -25,6 +25,22 @@ std::optional<FabricKind> parse_fabric_kind(std::string_view name) {
   return std::nullopt;
 }
 
+const char* engine_kind_name(EngineKind engine) {
+  switch (engine) {
+    case EngineKind::kPacket: return "packet";
+    case EngineKind::kFluid: return "fluid";
+    case EngineKind::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view name) {
+  if (name == "packet") return EngineKind::kPacket;
+  if (name == "fluid") return EngineKind::kFluid;
+  if (name == "hybrid") return EngineKind::kHybrid;
+  return std::nullopt;
+}
+
 FabricConfig FabricConfig::make(FabricKind kind) {
   FabricConfig cfg;
   cfg.kind = kind;
@@ -250,6 +266,7 @@ std::vector<sim::CheckpointEntry> serialize_fabric_config(
     const FabricConfig& config) {
   std::vector<sim::CheckpointEntry> out;
   out.push_back({"kind", fabric_kind_name(config.kind)});
+  out.push_back({"engine", engine_kind_name(config.engine)});
   put_i64(&out, "opera.num_racks", config.opera.num_racks);
   put_i64(&out, "opera.num_switches", config.opera.num_switches);
   put_u64(&out, "opera.seed", config.opera.seed);
@@ -314,6 +331,10 @@ std::string parse_fabric_config(
       const auto kind = parse_fabric_kind(value);
       ok = kind.has_value();
       if (ok) out->kind = *kind;
+    } else if (key == "engine") {
+      const auto engine = parse_engine_kind(value);
+      ok = engine.has_value();
+      if (ok) out->engine = *engine;
     } else if (key == "opera.num_racks") {
       as_i32(&out->opera.num_racks);
     } else if (key == "opera.num_switches") {
@@ -392,7 +413,42 @@ std::string parse_fabric_config(
   return "";
 }
 
+namespace {
+
+// Engine builder slots (fluid, hybrid). Written once at startup by
+// fluid::register_fluid_engines(); no locking — registration precedes any
+// concurrent build, and builds never mutate.
+NetworkFactory::EngineBuilder g_engine_builders[2] = {nullptr, nullptr};
+
+NetworkFactory::EngineBuilder* engine_slot(EngineKind engine) {
+  switch (engine) {
+    case EngineKind::kFluid: return &g_engine_builders[0];
+    case EngineKind::kHybrid: return &g_engine_builders[1];
+    case EngineKind::kPacket: break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void NetworkFactory::register_engine(EngineKind engine, EngineBuilder builder) {
+  EngineBuilder* slot = engine_slot(engine);
+  if (slot != nullptr) *slot = builder;
+}
+
 std::unique_ptr<Network> NetworkFactory::build(const FabricConfig& config) {
+  if (config.engine != EngineKind::kPacket) {
+    const EngineBuilder* slot = engine_slot(config.engine);
+    if (slot == nullptr || *slot == nullptr) {
+      std::fprintf(stderr,
+                   "NetworkFactory: engine '%s' has no registered builder — "
+                   "call fluid::register_fluid_engines() first "
+                   "(exp::Experiment does this automatically)\n",
+                   engine_kind_name(config.engine));
+      std::exit(2);
+    }
+    return (*slot)(config);
+  }
   switch (config.kind) {
     case FabricKind::kOpera:
       return std::make_unique<OperaNetwork>(config.opera_config());

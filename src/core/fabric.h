@@ -40,9 +40,26 @@ enum class FabricKind : std::uint8_t {
 [[nodiscard]] const char* fabric_kind_name(FabricKind kind);
 [[nodiscard]] std::optional<FabricKind> parse_fabric_kind(std::string_view name);
 
-// checkpoint:v1 fields=16
+// Which simulation engine executes the fabric (Opera only today):
+//   kPacket — the packet-level event simulation (the parity oracle);
+//   kFluid  — per-slice RotorLB rate integration (fluid::FluidNetwork),
+//             flow granularity for million-flow, multi-second scenarios;
+//   kHybrid — short/latency-sensitive flows on the packet engine, bulk
+//             elephants on the fluid integrator, completions merged
+//             (time, flow id)-canonically (fluid::HybridNetwork).
+// The fluid engines live above core in the layer DAG, so they reach the
+// factory through NetworkFactory::register_engine (see below).
+enum class EngineKind : std::uint8_t { kPacket, kFluid, kHybrid };
+
+// Stable lower-case name ("packet", "fluid", "hybrid").
+[[nodiscard]] const char* engine_kind_name(EngineKind engine);
+[[nodiscard]] std::optional<EngineKind> parse_engine_kind(std::string_view name);
+
+// checkpoint:v1 fields=17
 struct FabricConfig {
   FabricKind kind = FabricKind::kOpera;
+  // Execution engine for `kind` (non-packet engines require kOpera).
+  EngineKind engine = EngineKind::kPacket;
 
   // Structure of whichever fabric `kind` selects. Each carries its own
   // topology seed; only the selected one is consulted by the factory.
@@ -100,8 +117,19 @@ struct FabricConfig {
 
 class NetworkFactory {
  public:
-  // Builds the fabric `config.kind` selects. Never returns null.
+  // Builds the fabric `config.kind` selects, on the engine `config.engine`
+  // selects. Never returns null; a non-packet engine with no registered
+  // builder is a loud fatal error (the fluid layer registers its engines
+  // via fluid::register_fluid_engines(), which exp::Experiment calls
+  // automatically — direct factory users with engine != packet must call
+  // it themselves).
   [[nodiscard]] static std::unique_ptr<Network> build(const FabricConfig& config);
+
+  // Engine builder registration (idempotent overwrite). core cannot link
+  // the fluid layer — the layer DAG points the other way — so the fluid/
+  // hybrid engines install themselves here at startup.
+  using EngineBuilder = std::unique_ptr<Network> (*)(const FabricConfig&);
+  static void register_engine(EngineKind engine, EngineBuilder builder);
 };
 
 // Checkpoint [config] section: every FabricConfig knob as a flat key/value

@@ -1,6 +1,10 @@
 #include "exp/experiment.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fluid/fluid_network.h"
 
 namespace opera::exp {
 
@@ -17,7 +21,12 @@ const std::vector<SizeBucket>& fct_buckets() {
 
 Experiment::Experiment(std::string name, int argc, char** argv)
     : opts_(CliOptions::parse(argc, argv)),
-      report_(std::move(name), opts_.format) {}
+      report_(std::move(name), opts_.format) {
+  // Every bench binary goes through Experiment, so this is the one place
+  // the fluid/hybrid builders are guaranteed to be installed before the
+  // first NetworkFactory::build (core cannot depend on fluid itself).
+  fluid::register_fluid_engines();
+}
 
 Experiment::RunResult Experiment::run(const std::string& label,
                                       const core::FabricConfig& config,
@@ -29,6 +38,22 @@ Experiment::RunResult Experiment::run(const std::string& label,
   // --threads applies to any run that didn't pin a count itself.
   core::FabricConfig effective = config;
   if (effective.threads == 0 && opts_.threads > 0) effective.threads = opts_.threads;
+  // --engine applies to any run that didn't pin an engine itself.
+  if (!opts_.engine.empty() && effective.engine == core::EngineKind::kPacket) {
+    const auto engine = core::parse_engine_kind(opts_.engine);
+    if (!engine) {
+      std::fprintf(stderr,
+                   "%s: unknown engine '%s' (expected packet, fluid or "
+                   "hybrid)\n",
+                   report_.bench().c_str(), opts_.engine.c_str());
+      std::exit(2);
+    }
+    effective.engine = *engine;
+  }
+  if (effective.engine != noted_engine_) {
+    noted_engine_ = effective.engine;
+    report_.note("engine=%s", core::engine_kind_name(effective.engine));
+  }
   result.net = core::NetworkFactory::build(effective);
   // Emit the shard count as report metadata, from the *resolved* count
   // (which includes the OPERA_TEST_THREADS env default and the rack-count

@@ -93,6 +93,8 @@ class Experiment {
   CliOptions opts_;
   Report report_;
   int noted_threads_ = -1;  // last `# threads=` note value; -1 = none yet
+  // Last `# engine=` note value; packet runs (the default) emit none.
+  core::EngineKind noted_engine_ = core::EngineKind::kPacket;
 };
 
 }  // namespace opera::exp

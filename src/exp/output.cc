@@ -44,6 +44,8 @@ CliOptions CliOptions::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       opts.threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      opts.engine = argv[i] + 9;
     }
   }
   return opts;

@@ -20,14 +20,20 @@ namespace opera::exp {
 enum class OutputFormat : std::uint8_t { kHuman, kCsv, kJson };
 
 // Flags shared by all bench binaries: --full (paper scale), --csv, --json,
-// --threads=N (sharded event loop; Opera fabrics). Unknown arguments are
-// ignored so binaries can add their own.
+// --threads=N (sharded event loop; Opera fabrics), --engine=NAME
+// (simulation engine; Opera fabrics). Unknown arguments are ignored so
+// binaries can add their own.
 struct CliOptions {
   bool full = false;
   OutputFormat format = OutputFormat::kHuman;
   // Shard count for fabrics that support the sharded event loop; 0 = the
   // config/env default (see core::OperaConfig::threads).
   int threads = 0;
+  // Simulation engine override (packet | fluid | hybrid), applied by
+  // exp::Experiment to any run whose config didn't pin one itself; empty
+  // = no override. Validated against core::parse_engine_kind at apply
+  // time, so a typo is a loud error, not a silent packet run.
+  std::string engine;
 
   static CliOptions parse(int argc, char** argv);
   static bool has_flag(int argc, char** argv, const char* flag);

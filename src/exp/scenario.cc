@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "fluid/fluid_network.h"
+#include "fluid/hybrid_network.h"
 #include "sim/rng.h"
 #include "workload/day_in_the_life.h"
 #include "workload/trace_replay.h"
@@ -278,6 +281,15 @@ std::string validate_scenario(const ScenarioSpec& spec,
     return std::string(scenario_kind_name(spec.kind)) +
            ": requires the opera fabric";
   }
+  // Gray loss and slice skew are packet-level degradations; the fluid
+  // integrator has no per-packet loss or per-slice clock to perturb, so a
+  // fluid or hybrid run would silently model only part of the scenario.
+  if ((spec.kind == ScenarioKind::kGray || spec.kind == ScenarioKind::kSkew) &&
+      config.engine != core::EngineKind::kPacket) {
+    return std::string(scenario_kind_name(spec.kind)) +
+           ": requires the packet engine (engine=" +
+           core::engine_kind_name(config.engine) + " cannot mirror it)";
+  }
   const std::int32_t n = config.opera.num_racks;
   const int u = config.opera.num_switches;
   switch (spec.kind) {
@@ -399,10 +411,15 @@ std::vector<workload::FlowSpec> scenario_flows(const ScenarioSpec& spec,
   }
 }
 
-void arm_scenario(const ScenarioSpec& spec, core::OperaNetwork& net) {
-  // Everything here lands on the coordinator's global queue: failure
-  // mutation at a barrier, never racing shard-local packet events.
-  sim::Simulator& global = net.sim();
+namespace {
+
+// Storm (switch/uplink) events, shared between the packet and fluid
+// engines — both expose the same inject/recover surface and config().
+// Everything lands on `global` (the engine's coordinator queue): failure
+// mutation at a barrier, never racing shard-local events.
+template <typename Net>
+void arm_storm_events(const ScenarioSpec& spec, Net& net,
+                      sim::Simulator& global) {
   const auto at_ms = [](double ms) { return sim::Time::from_us(ms * 1000.0); };
   switch (spec.kind) {
     case ScenarioKind::kStormRolling: {
@@ -438,6 +455,23 @@ void arm_scenario(const ScenarioSpec& spec, core::OperaNetwork& net) {
       }
       break;
     }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void arm_scenario(const ScenarioSpec& spec, core::OperaNetwork& net) {
+  // Everything here lands on the coordinator's global queue: failure
+  // mutation at a barrier, never racing shard-local packet events.
+  sim::Simulator& global = net.sim();
+  const auto at_ms = [](double ms) { return sim::Time::from_us(ms * 1000.0); };
+  switch (spec.kind) {
+    case ScenarioKind::kStormRolling:
+    case ScenarioKind::kStormRacks:
+      arm_storm_events(spec, net, global);
+      break;
     case ScenarioKind::kGray: {
       const std::int32_t n = net.num_racks();
       const int u = net.config().topology.num_switches;
@@ -472,6 +506,44 @@ void arm_scenario(const ScenarioSpec& spec, core::OperaNetwork& net) {
     default:
       break;  // workload scenarios have nothing to arm
   }
+}
+
+void arm_scenario(const ScenarioSpec& spec, core::Network& net) {
+  if (scenario_is_workload(spec)) return;
+  if (auto* packet = dynamic_cast<core::OperaNetwork*>(&net)) {
+    arm_scenario(spec, *packet);
+    return;
+  }
+  const bool needs_packet =
+      spec.kind == ScenarioKind::kGray || spec.kind == ScenarioKind::kSkew;
+  if (auto* hybrid = dynamic_cast<fluid::HybridNetwork*>(&net)) {
+    if (needs_packet) {
+      std::fprintf(stderr,
+                   "exp: scenario '%s' models packet-level degradation the "
+                   "fluid plane cannot mirror; run it with --engine=packet\n",
+                   scenario_kind_name(spec.kind));
+      std::exit(2);
+    }
+    // Mirror the failure timeline onto both planes, each on its own
+    // coordinator queue — the lockstep chunking keeps them aligned, so
+    // short and bulk flows see one consistent outage.
+    arm_storm_events(spec, hybrid->packet_net(), hybrid->packet_net().sim());
+    arm_storm_events(spec, hybrid->fluid_net(), hybrid->fluid_net().sim());
+    return;
+  }
+  if (auto* fl = dynamic_cast<fluid::FluidNetwork*>(&net)) {
+    if (needs_packet) {
+      std::fprintf(stderr,
+                   "exp: scenario '%s' models packet-level degradation the "
+                   "fluid engine cannot express; run it with --engine=packet\n",
+                   scenario_kind_name(spec.kind));
+      std::exit(2);
+    }
+    arm_storm_events(spec, *fl, fl->sim());
+    return;
+  }
+  // Other fabrics expose no failure-injection surface; validate_scenario
+  // already rejects failure scenarios for them.
 }
 
 std::vector<workload::FlowSpec> adversarial_permutation_workload(

@@ -105,7 +105,8 @@ struct ScenarioParseResult {
 [[nodiscard]] std::string describe(const ScenarioSpec& spec);
 
 // Checks the spec against a concrete fabric: parameter ranges, fabric
-// kind (failure scenarios and adversarial-perm need Opera), skew timing
+// kind (failure scenarios and adversarial-perm need Opera), engine
+// (gray/skew need the packet engine), skew timing
 // against the slice clock, and the last-path property — a storm must
 // never take down a rack's last live uplink, even transiently, unless
 // declared `partitionable=1` (replayed on the abstract fail/recover
@@ -123,6 +124,16 @@ struct ScenarioParseResult {
 // (coordinator) queue. Call after construction, before run — e.g. from
 // Experiment::RunOptions::setup. No-op for workload scenarios.
 void arm_scenario(const ScenarioSpec& spec, core::OperaNetwork& net);
+
+// Engine-dispatching overload: arms the packet, fluid or hybrid engine
+// behind any core::Network. Storms land on whichever engine(s) the run
+// uses — a hybrid run mirrors the same failure timeline onto both planes,
+// each on its own coordinator queue, so short and bulk flows see one
+// consistent outage. Gray/skew scenarios model packet-level degradation
+// the fluid integrator cannot express; validate_scenario rejects them for
+// non-packet engines, and reaching here anyway is a loud fatal error.
+// No-op for workload scenarios and for fabrics without failure injection.
+void arm_scenario(const ScenarioSpec& spec, core::Network& net);
 
 // The schedule-adversarial permutation behind `adversarial-perm`: for
 // every rack pair, the wait (in slices, from slice 0) until the first

@@ -9,22 +9,63 @@
 
 namespace opera::fluid {
 
+double Demand::operator()(int a, int b) const {
+  const auto& row = rows_[static_cast<std::size_t>(a)];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), b,
+      [](const Entry& e, int col) { return e.col < col; });
+  return (it != row.end() && it->col == b) ? it->value : 0.0;
+}
+
+void Demand::add(int a, int b, double bps) {
+  if (a == b) return;
+  auto& row = rows_[static_cast<std::size_t>(a)];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), b,
+      [](const Entry& e, int col) { return e.col < col; });
+  if (it != row.end() && it->col == b) {
+    it->value += bps;
+  } else {
+    row.insert(it, Entry{static_cast<std::int32_t>(b), bps});
+  }
+}
+
 double Demand::total() const {
+  // Row-major, ascending-column: the dense accumulation order.
   double sum = 0.0;
-  for (const double v : m_) sum += v;
+  for (const auto& row : rows_) {
+    for (const Entry& e : row) sum += e.value;
+  }
   return sum;
 }
 
 double Demand::row_sum(int a) const {
   double sum = 0.0;
-  for (int b = 0; b < n_; ++b) sum += (*this)(a, b);
+  for (const Entry& e : rows_[static_cast<std::size_t>(a)]) sum += e.value;
   return sum;
 }
 
 double Demand::col_sum(int b) const {
   double sum = 0.0;
-  for (int a = 0; a < n_; ++a) sum += (*this)(a, b);
+  for (const auto& row : rows_) {
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), b,
+        [](const Entry& e, int col) { return e.col < col; });
+    if (it != row.end() && it->col == b) sum += it->value;
+  }
   return sum;
+}
+
+std::size_t Demand::nnz() const {
+  std::size_t count = 0;
+  for (const auto& row : rows_) count += row.size();
+  return count;
+}
+
+std::size_t Demand::memory_bytes() const {
+  std::size_t bytes = sizeof(Demand) + rows_.capacity() * sizeof(rows_[0]);
+  for (const auto& row : rows_) bytes += row.capacity() * sizeof(Entry);
+  return bytes;
 }
 
 Demand Demand::all_to_all(int num_racks, int hosts_per_rack, double host_rate_bps) {

@@ -15,33 +15,47 @@
 // is feasible; demands are in bits/sec at rack granularity.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "topo/graph.h"
 
 namespace opera::fluid {
 
-// Dense rack-level demand matrix (bits/sec); diagonal ignored.
+// Sparse rack-level demand matrix (bits/sec); diagonal ignored.
+//
+// Stored CSR-style: one column-sorted entry vector per row, so memory is
+// O(racks + nonzeros) instead of the dense O(racks^2) doubles that made
+// k=24+ (432 racks) fluid sweeps carry ~1.5 MB per matrix — and far worse
+// at the 100k-host scales the fluid engine targets. Iteration helpers
+// visit entries in row-major, ascending-column order, which is exactly
+// the dense loop order, so every consumer's floating-point accumulation
+// is bit-identical to the dense form (skipped zeros add 0.0, an FP
+// no-op).
 class Demand {
  public:
+  struct Entry {
+    std::int32_t col;
+    double value;
+  };
+
   explicit Demand(int num_racks)
-      : n_(num_racks), m_(static_cast<std::size_t>(num_racks) *
-                              static_cast<std::size_t>(num_racks),
-                          0.0) {}
+      : n_(num_racks), rows_(static_cast<std::size_t>(num_racks)) {}
 
   [[nodiscard]] int num_racks() const { return n_; }
-  [[nodiscard]] double operator()(int a, int b) const {
-    return m_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
-              static_cast<std::size_t>(b)];
-  }
-  void add(int a, int b, double bps) {
-    if (a == b) return;
-    m_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
-       static_cast<std::size_t>(b)] += bps;
-  }
+  [[nodiscard]] double operator()(int a, int b) const;
+  void add(int a, int b, double bps);
   [[nodiscard]] double total() const;
   [[nodiscard]] double row_sum(int a) const;
   [[nodiscard]] double col_sum(int b) const;
+
+  // Column-sorted nonzero entries of row `a`.
+  [[nodiscard]] const std::vector<Entry>& row(int a) const {
+    return rows_[static_cast<std::size_t>(a)];
+  }
+  // Stored nonzero count and heap footprint (the k=24+ memory probe).
+  [[nodiscard]] std::size_t nnz() const;
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   // Canonical workloads (entries are per-rack offered bits/sec given each
   // rack hosts `hosts_per_rack` hosts at `host_rate_bps`).
@@ -54,7 +68,7 @@ class Demand {
 
  private:
   int n_;
-  std::vector<double> m_;
+  std::vector<std::vector<Entry>> rows_;  // [row] -> entries sorted by col
 };
 
 // Folded Clos with ToR oversubscription F (may be fractional when derived

@@ -26,6 +26,35 @@ TEST(Demand, Workloads) {
   EXPECT_NEAR(sk.total(), 2 * 6 * kRate, 1.0);  // 2 active racks
 }
 
+TEST(Demand, SparseMemoryShape) {
+  // The matrix is CSR-style: O(racks + nonzeros) entries, never the dense
+  // O(racks^2) doubles. Pin the shape so a dense regression at k=24+
+  // scales (432+ racks) shows up here before it shows up as RSS.
+  const int n = 432;  // k=24 rack count
+  const auto hot = Demand::hotrack(n, 12, kRate);
+  EXPECT_EQ(hot.nnz(), 1u);
+  // One row vector per rack plus a single entry, far under the dense
+  // 432^2 doubles (~1.5 MB).
+  EXPECT_LT(hot.memory_bytes(),
+            static_cast<std::size_t>(n) * sizeof(std::vector<Demand::Entry>) +
+                64 * sizeof(Demand::Entry) + sizeof(Demand));
+  EXPECT_LT(hot.memory_bytes(), static_cast<std::size_t>(n) * n * sizeof(double) / 8);
+
+  // Dense-ish demand still stores only its nonzeros.
+  const auto a2a = Demand::all_to_all(64, 6, kRate);
+  EXPECT_EQ(a2a.nnz(), static_cast<std::size_t>(64) * 63);
+  EXPECT_GE(a2a.memory_bytes(), a2a.nnz() * sizeof(Demand::Entry));
+
+  // Accumulating into an existing cell must not grow storage.
+  Demand d(8);
+  d.add(1, 2, kRate);
+  d.add(1, 2, kRate);
+  d.add(2, 2, kRate);  // diagonal ignored
+  EXPECT_EQ(d.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(d(1, 2), 2 * kRate);
+  EXPECT_DOUBLE_EQ(d(2, 1), 0.0);
+}
+
 TEST(ClosThroughput, UniformLoadMatchesOversubscription) {
   // All-to-all at full host load: 3:1 Clos delivers 1/3.
   const auto d = Demand::all_to_all(12, 6, kRate);

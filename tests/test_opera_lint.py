@@ -229,10 +229,20 @@ class IncludeLayeringTest(unittest.TestCase):
             ("src/core/foo.cc", "transport/rotorlb.h"),
             ("src/exp/foo.cc", "core/network.h"),
             ("src/exp/foo.cc", "topo/graph.h"),
+            # PR 9: the fluid engines implement core::Network, so fluid
+            # sits above core (and pulls in core's closure).
+            ("src/fluid/foo.h", "core/network.h"),
+            ("src/fluid/foo.cc", "transport/flow.h"),
         ]
         for relpath, inc in cases:
             vs, _ = lint(relpath, f'#include "{inc}"\n')
             self.assertEqual(vs, [], f"{relpath} -> {inc}")
+
+    def test_core_may_not_include_fluid(self):
+        # The engine registry exists precisely so this edge never appears:
+        # core reaches the fluid engines through registered builders only.
+        vs, _ = lint("src/core/fabric.cc", '#include "fluid/fluid_network.h"\n')
+        self.assertEqual(rules_of(vs), [("include-layering", 1)])
 
     def test_system_and_nonlayer_includes_ignored(self):
         vs, _ = lint("src/core/foo.cc",
